@@ -1,0 +1,161 @@
+// Command genbase-bench regenerates the paper's evaluation: every panel of
+// Figures 1–5 and Table 1, printed as aligned text tables ("INF" marks runs
+// that exceeded the cutoff or an engine's memory budget, the paper's
+// horizontal lines; "-" marks queries a configuration cannot run).
+//
+// Usage:
+//
+//	genbase-bench -figure 1             # single-node overall times
+//	genbase-bench -figure 3 -timeout 1m # multi-node sweep
+//	genbase-bench -all                  # everything (used for EXPERIMENTS.md)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "regenerate one figure (1-5)")
+	table := flag.Int("table", 0, "regenerate one table (1)")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	scale := flag.Float64("scale", 1.0, "dataset dimension multiplier")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	timeout := flag.Duration("timeout", core.DefaultTimeout, "per-query cutoff (the paper's 2 hours, scaled)")
+	sizes := flag.String("sizes", "small,medium,large", "comma-separated dataset presets")
+	reps := flag.Int("reps", 3, "repetitions per query (minimum kept)")
+	extension := flag.String("extension", "", "extension experiment: weak|bigcluster|approxsvd (paper future work)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	flag.Parse()
+
+	if !*all && *figure == 0 && *table == 0 && *extension == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sz []datagen.Size
+	for _, s := range strings.Split(*sizes, ",") {
+		sz = append(sz, datagen.Size(strings.TrimSpace(s)))
+	}
+	suite := &core.Suite{Sizes: sz, Scale: *scale, Seed: *seed, Timeout: *timeout, Repetitions: *reps}
+	if !*quiet {
+		suite.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  ▸ "+format+"\n", args...)
+		}
+	}
+	ctx := context.Background()
+	start := time.Now()
+
+	want := func(f int) bool { return *all || *figure == f }
+
+	var singleOuts []core.Outcome
+	if want(1) || want(2) {
+		fmt.Fprintln(os.Stderr, "running single-node sweep (figures 1-2)...")
+		var err error
+		singleOuts, err = suite.RunSingleNode(ctx)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want(1) {
+		tables, err := suite.Figure1(singleOuts)
+		if err != nil {
+			fatal(err)
+		}
+		printTables(tables)
+	}
+	if want(2) {
+		tables, err := suite.Figure2(singleOuts)
+		if err != nil {
+			fatal(err)
+		}
+		printTables(tables)
+	}
+
+	var multiOuts []core.Outcome
+	if want(3) || want(4) {
+		fmt.Fprintln(os.Stderr, "running multi-node sweep (figures 3-4)...")
+		var err error
+		multiOuts, err = suite.RunMultiNode(ctx)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want(3) {
+		printTables(suite.Figure3(multiOuts))
+	}
+	if want(4) {
+		printTables(suite.Figure4(multiOuts))
+	}
+
+	if want(5) {
+		fmt.Fprintln(os.Stderr, "running coprocessor sweep (figure 5)...")
+		outs, err := suite.RunPhi(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		tables, err := suite.Figure5(outs)
+		if err != nil {
+			fatal(err)
+		}
+		printTables(tables)
+	}
+	if *all || *table == 1 {
+		fmt.Fprintln(os.Stderr, "running multi-node coprocessor sweep (table 1)...")
+		outs, err := suite.RunPhiMultiNode(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(suite.Table1(outs).Render())
+	}
+	switch *extension {
+	case "":
+	case "weak":
+		fmt.Fprintln(os.Stderr, "running weak-scaling extension (paper §5.2)...")
+		tables, err := suite.RunWeakScaling(ctx, nil)
+		if err != nil {
+			fatal(err)
+		}
+		printTables(tables)
+	case "bigcluster":
+		fmt.Fprintln(os.Stderr, "running 48-node strong-scaling extension (paper §4.4)...")
+		tables, err := suite.RunLargeCluster(ctx, nil)
+		if err != nil {
+			fatal(err)
+		}
+		printTables(tables)
+	case "approxsvd":
+		fmt.Fprintln(os.Stderr, "running approximate-SVD extension (paper §6.3)...")
+		tbl, agreement, err := suite.RunApproxSVD(ctx, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl.Render())
+		fmt.Print("worst relative singular-value error vs exact:")
+		for _, a := range agreement {
+			fmt.Printf(" %.2g", a)
+		}
+		fmt.Println()
+	default:
+		fatal(fmt.Errorf("unknown extension %q", *extension))
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+}
+
+func printTables(tables []*core.Table) {
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genbase-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,175 @@
+// Command genbase-run executes one benchmark query on one system
+// configuration and prints the timing breakdown and an answer summary.
+//
+// Usage:
+//
+//	genbase-run -system scidb -query regression -size medium
+//	genbase-run -system pbdr -nodes 4 -query covariance -size large
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+)
+
+func main() {
+	system := flag.String("system", "vanilla-r", "configuration: one of "+fmt.Sprint(systemNames()))
+	query := flag.String("query", "regression", "query: regression|covariance|biclustering|svd|statistics")
+	size := flag.String("size", "small", "dataset preset: small|medium|large|xlarge")
+	scale := flag.Float64("scale", 1.0, "dimension multiplier")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	nodes := flag.Int("nodes", 1, "simulated cluster size (multi-node systems)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "query cutoff")
+	svdk := flag.Int("svdk", 0, "override the number of singular values for Q4")
+	data := flag.String("data", "", "load dataset from a CSV directory or .bin file instead of generating")
+	flag.Parse()
+
+	q, err := parseQuery(*query)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := core.ConfigByName(*system)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ds *datagen.Dataset
+	if *data != "" {
+		fmt.Printf("loading dataset from %s...\n", *data)
+		ds, err = loadDataset(*data)
+	} else {
+		fmt.Printf("generating %s dataset (scale %.2f, seed %d)...\n", *size, *scale, *seed)
+		ds, err = datagen.Generate(datagen.Config{Size: datagen.Size(*size), Scale: *scale, Seed: *seed})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d patients × %d genes, %d GO terms\n", ds.Dims.Patients, ds.Dims.Genes, ds.Dims.GOTerms)
+
+	dir, err := os.MkdirTemp("", "genbase-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	eng := cfg.New(*nodes, dir)
+	defer eng.Close()
+
+	fmt.Printf("loading into %s", cfg.Name)
+	if *nodes > 1 {
+		fmt.Printf(" (%d nodes)", *nodes)
+	}
+	fmt.Println("...")
+	loadStart := time.Now()
+	if err := eng.Load(ds); err != nil {
+		fatal(fmt.Errorf("load: %w", err))
+	}
+	fmt.Printf("  loaded in %v\n", time.Since(loadStart).Round(time.Millisecond))
+
+	p := engine.DefaultParams()
+	if *svdk > 0 {
+		p.SVDK = *svdk
+	}
+	runner := core.Runner{Timeout: *timeout}
+	out := runner.RunQuery(context.Background(), cfg.Name, eng, ds, q, p, *nodes)
+	switch {
+	case out.Unsupported:
+		fmt.Printf("%s does not support the %v query\n", cfg.Name, q)
+		os.Exit(2)
+	case out.Infinite:
+		fmt.Printf("%v on %s exceeded the %v cutoff (the paper's \"infinite\" result)\n", q, cfg.Name, *timeout)
+		os.Exit(3)
+	case out.Err != nil:
+		fatal(out.Err)
+	}
+
+	fmt.Printf("\n%v on %s:\n", q, cfg.Name)
+	fmt.Printf("  data management : %v\n", out.Timing.DataManagement.Round(time.Microsecond))
+	if out.Timing.Transfer > 0 {
+		fmt.Printf("  copy/reformat   : %v\n", out.Timing.Transfer.Round(time.Microsecond))
+	}
+	fmt.Printf("  analytics       : %v\n", out.Timing.Analytics.Round(time.Microsecond))
+	fmt.Printf("  total           : %v\n", out.Timing.Total().Round(time.Microsecond))
+	printAnswer(out.Answer)
+}
+
+func printAnswer(ans any) {
+	switch a := ans.(type) {
+	case *engine.RegressionAnswer:
+		fmt.Printf("  model: %d genes + intercept over %d patients, R² = %.4f\n",
+			len(a.SelectedGenes), a.NumPatients, a.RSquared)
+	case *engine.CovarianceAnswer:
+		fmt.Printf("  %d gene pairs above |cov| ≥ %.4g (from %d patients)\n",
+			a.NumPairs, a.Threshold, a.NumPatients)
+		for i, p := range a.TopPairs {
+			if i == 3 {
+				break
+			}
+			fmt.Printf("    gene %d ↔ gene %d: cov %.4f (functions %d, %d)\n",
+				p.GeneA, p.GeneB, p.Cov, p.FunctionA, p.FunctionB)
+		}
+	case *engine.BiclusterAnswer:
+		fmt.Printf("  %d biclusters over %d filtered patients\n", len(a.Blocks), a.NumPatients)
+		for i, b := range a.Blocks {
+			fmt.Printf("    bicluster %d: %d patients × %d genes, MSR %.4f\n",
+				i+1, len(b.PatientIDs), len(b.GeneIDs), b.MSR)
+		}
+	case *engine.SVDAnswer:
+		fmt.Printf("  top singular values over %d selected genes:\n   ", a.SelectedGenes)
+		for _, s := range a.SingularValues {
+			fmt.Printf(" %.3f", s)
+		}
+		fmt.Println()
+	case *engine.StatsAnswer:
+		fmt.Printf("  Wilcoxon over %d GO terms (%d sampled patients); most enriched:\n",
+			len(a.Terms), a.SampledPatients)
+		for _, ts := range a.TopEnriched(3) {
+			fmt.Printf("    GO term %d: z = %+.3f, p = %.3g\n", ts.Term, ts.Z, ts.P)
+		}
+	}
+}
+
+// loadDataset reads a dataset from a CSV directory or a binary file.
+func loadDataset(path string) (*datagen.Dataset, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		return datagen.ReadCSVDir(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return datagen.ReadBinary(f)
+}
+
+func parseQuery(s string) (engine.QueryID, error) {
+	for _, q := range engine.AllQueries() {
+		if q.String() == s {
+			return q, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown query %q", s)
+}
+
+func systemNames() []string {
+	var out []string
+	for _, c := range core.Configs() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genbase-run:", err)
+	os.Exit(1)
+}

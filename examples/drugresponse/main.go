@@ -1,0 +1,61 @@
+// Drug-response modeling: the workflow behind Q1 of the benchmark, used the
+// way a bioinformatician would — fit a regression predicting drug response
+// from the expression of a functional gene subset, then inspect model
+// quality as the subset widens. Demonstrates parameterizing the benchmark's
+// queries rather than running them at fixed defaults.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/genbase/genbase"
+)
+
+func main() {
+	ds, err := genbase.GenerateDataset(genbase.Small, 1.0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := genbase.NewSystem("vanilla-r", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Load(ds); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Predicting drug response from gene expression (Q1):")
+	fmt.Println()
+	fmt.Printf("%-22s %-8s %-10s %s\n", "gene filter", "genes", "R²", "interpretation")
+
+	ctx := context.Background()
+	// Sweep the functional-category filter: wider filters admit more of the
+	// causal genes, so the fit improves until the model saturates.
+	for _, thr := range []int64{100, 250, 500, 750} {
+		p := genbase.DefaultParams()
+		p.FunctionThreshold = thr
+		res, err := eng.Run(ctx, genbase.Q1Regression, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ans := res.Answer.(*genbase.RegressionAnswer)
+		verdict := "weak model"
+		switch {
+		case ans.RSquared > 0.9:
+			verdict = "strong model"
+		case ans.RSquared > 0.5:
+			verdict = "useful model"
+		}
+		fmt.Printf("function < %-11d %-8d %-10.4f %s\n",
+			thr, len(ans.SelectedGenes), ans.RSquared, verdict)
+	}
+
+	fmt.Println()
+	fmt.Printf("the generator planted %d causal genes; filters that include more of\n", len(ds.CausalGenes))
+	fmt.Println("them explain more drug-response variance — exactly the signal a real")
+	fmt.Println("microarray study hunts for.")
+}

@@ -1,0 +1,68 @@
+// Gene-set enrichment analysis: the benchmark's Q5 workflow used for real
+// discovery — sample patients, rank genes by expression, and find GO terms
+// whose members cluster at the top of the ranking (Wilcoxon rank-sum), then
+// check the hits against the generator's planted enriched terms.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/genbase/genbase"
+)
+
+func main() {
+	ds, err := genbase.GenerateDataset(genbase.Small, 1.0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The array DBMS runs the statistics query fastest in the paper; use it.
+	eng, err := genbase.NewSystem("scidb", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Load(ds); err != nil {
+		log.Fatal(err)
+	}
+
+	p := genbase.DefaultParams()
+	res, err := eng.Run(context.Background(), genbase.Q5Statistics, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans := res.Answer.(*genbase.StatsAnswer)
+
+	planted := map[int]bool{}
+	for _, t := range ds.EnrichedTerms {
+		planted[t] = true
+	}
+
+	// FDR-correct the p-values: with hundreds of terms tested at once, raw
+	// p-values overstate significance.
+	ps := make([]float64, len(ans.Terms))
+	for i, ts := range ans.Terms {
+		ps[i] = ts.P
+	}
+	qs := genbase.BenjaminiHochberg(ps)
+
+	fmt.Printf("enrichment over %d GO terms (%d sampled patients):\n\n",
+		len(ans.Terms), ans.SampledPatients)
+	fmt.Printf("%-8s %-10s %-12s %-12s %s\n", "term", "z", "p", "q (FDR)", "planted?")
+	hits := 0
+	top := ans.TopEnriched(10)
+	for _, ts := range top {
+		mark := ""
+		if planted[ts.Term] {
+			mark = "← planted enriched term"
+			hits++
+		}
+		fmt.Printf("GO %-5d %+-10.3f %-12.3g %-12.3g %s\n", ts.Term, ts.Z, ts.P, qs[ts.Term], mark)
+	}
+	fmt.Printf("\nrecovered %d of %d planted terms in the top %d — the statistical\n",
+		hits, len(ds.EnrichedTerms), len(top))
+	fmt.Println("pipeline finds the biology the generator hid in the expression data.")
+	fmt.Printf("\nquery cost: dm=%v analytics=%v\n", res.Timing.DataManagement, res.Timing.Analytics)
+}

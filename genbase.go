@@ -1,0 +1,193 @@
+// Package genbase is a from-scratch Go implementation of GenBase, the
+// complex-analytics genomics benchmark of Taft, Vartak, Satish, Sundaram,
+// Madden and Stonebraker (SIGMOD 2014). It bundles:
+//
+//   - a deterministic generator for the four benchmark datasets (microarray
+//     expression data, patient metadata, gene metadata, gene-ontology
+//     membership) at the paper's four sizes;
+//   - the five benchmark queries — linear regression, covariance,
+//     biclustering, SVD, and Wilcoxon enrichment statistics — each mixing
+//     data management with complex analytics;
+//   - ten system configurations under test, implemented down to their
+//     storage engines: an R-style dataframe engine, a slotted-page row
+//     store (Postgres analog, with Madlib-style in-database analytics), a
+//     compressed column store with external-R and in-process-UDF analytics,
+//     a chunked array DBMS (SciDB analog), an in-process MapReduce stack
+//     (Hadoop + Hive + Mahout analog), distributed pbdR/ScaLAPACK-style
+//     configurations over a virtual cluster, and an Intel Xeon Phi
+//     coprocessor model;
+//   - a benchmark harness that regenerates every figure and table of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	ds, _ := genbase.GenerateDataset(genbase.Small, 1.0, 42)
+//	eng, _ := genbase.NewSystem("scidb", 1)
+//	defer eng.Close()
+//	_ = eng.Load(ds)
+//	res, _ := eng.Run(context.Background(), genbase.Q1Regression, genbase.DefaultParams())
+//	fmt.Println(res.Timing.Total())
+package genbase
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/stats"
+)
+
+// Re-exported dataset types and sizes.
+type (
+	// Dataset bundles the four benchmark tables in engine-neutral form.
+	Dataset = datagen.Dataset
+	// Size names one of the paper's dataset presets.
+	Size = datagen.Size
+)
+
+// The paper's four dataset presets (dimensions scaled 1/20; see DESIGN.md).
+const (
+	Small  = datagen.Small
+	Medium = datagen.Medium
+	Large  = datagen.Large
+	XLarge = datagen.XLarge
+)
+
+// Re-exported query and engine types.
+type (
+	// QueryID names one of the five benchmark queries.
+	QueryID = engine.QueryID
+	// Params carries the per-query predicates (paper §3.2).
+	Params = engine.Params
+	// Engine is a system under test.
+	Engine = engine.Engine
+	// Result is a completed query run with its timing breakdown.
+	Result = engine.Result
+	// Timing is the data-management / analytics / transfer cost split.
+	Timing = engine.Timing
+)
+
+// Re-exported answer types (the Result.Answer payloads).
+type (
+	// RegressionAnswer is Q1's fitted drug-response model.
+	RegressionAnswer = engine.RegressionAnswer
+	// CovarianceAnswer is Q2's thresholded gene-pair set.
+	CovarianceAnswer = engine.CovarianceAnswer
+	// BiclusterAnswer is Q3's discovered biclusters.
+	BiclusterAnswer = engine.BiclusterAnswer
+	// SVDAnswer is Q4's top singular values.
+	SVDAnswer = engine.SVDAnswer
+	// StatsAnswer is Q5's per-GO-term enrichment statistics.
+	StatsAnswer = engine.StatsAnswer
+	// TermStat is one GO term's Wilcoxon z and p.
+	TermStat = engine.TermStat
+)
+
+// The five GenBase queries.
+const (
+	Q1Regression   = engine.Q1Regression
+	Q2Covariance   = engine.Q2Covariance
+	Q3Biclustering = engine.Q3Biclustering
+	Q4SVD          = engine.Q4SVD
+	Q5Statistics   = engine.Q5Statistics
+)
+
+// Queries lists the benchmark queries in paper order.
+func Queries() []QueryID { return engine.AllQueries() }
+
+// BenjaminiHochberg converts Q5's per-term p-values into FDR-adjusted
+// q-values — the standard multiple-testing correction when screening many GO
+// terms at once.
+func BenjaminiHochberg(ps []float64) []float64 { return stats.BenjaminiHochberg(ps) }
+
+// DefaultParams returns the paper's example query parameters.
+func DefaultParams() Params { return engine.DefaultParams() }
+
+// GenerateDataset builds a deterministic synthetic dataset. scale multiplies
+// the preset dimensions (1.0 reproduces the benchmark's defaults); seed
+// fixes the pseudo-random stream.
+func GenerateDataset(size Size, scale float64, seed uint64) (*Dataset, error) {
+	return datagen.Generate(datagen.Config{Size: size, Scale: scale, Seed: seed})
+}
+
+// Systems lists the benchmarkable configuration names in the paper's order.
+func Systems() []string {
+	cfgs := core.Configs()
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// NewSystem builds an engine for the named configuration. With nodes == 1 it
+// returns the real single-node engine (measured wall-clock); with nodes > 1
+// it returns the virtual-cluster variant (simulated makespan; see DESIGN.md
+// §3.3). Disk-backed engines allocate scratch space that Close removes.
+func NewSystem(name string, nodes int) (Engine, error) {
+	if nodes > 1 {
+		return NewClusterSystem(name, nodes)
+	}
+	cfg, err := core.ConfigByName(name)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "genbase-*")
+	if err != nil {
+		return nil, err
+	}
+	return &ownedEngine{Engine: cfg.New(nodes, dir), dir: dir}, nil
+}
+
+// NewClusterSystem builds the multi-node variant of a configuration at any
+// node count, including 1 — useful for scaling studies where the 1-node
+// baseline must run the same distributed algorithms as the scaled runs.
+func NewClusterSystem(name string, nodes int) (Engine, error) {
+	cfg, err := core.ConfigByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NewCluster == nil {
+		return nil, fmt.Errorf("genbase: %s has no multi-node variant", name)
+	}
+	return cfg.NewCluster(nodes), nil
+}
+
+// ownedEngine removes its scratch directory on Close.
+type ownedEngine struct {
+	Engine
+	dir string
+}
+
+func (o *ownedEngine) Close() error {
+	err := o.Engine.Close()
+	os.RemoveAll(o.dir)
+	return err
+}
+
+// RunQuery is a convenience wrapper: load the dataset into a fresh instance
+// of the named system and run one query.
+func RunQuery(ctx context.Context, system string, ds *Dataset, q QueryID, p Params) (*Result, error) {
+	eng, err := NewSystem(system, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	if err := eng.Load(ds); err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx, q, p)
+}
+
+// Suite regenerates the paper's figures and tables; see internal/core for
+// the experiment definitions and cmd/genbase-bench for the CLI.
+type Suite = core.Suite
+
+// Outcome is a single benchmark measurement.
+type Outcome = core.Outcome
+
+// ReportTable is one rendered figure panel or table.
+type ReportTable = core.Table

@@ -1,0 +1,79 @@
+package genbase
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	ds, err := GenerateDataset(Small, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunQuery(context.Background(), "scidb", ds, Q1Regression, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing.Total() <= 0 {
+		t.Fatal("no timing")
+	}
+}
+
+func TestSystemsListed(t *testing.T) {
+	names := Systems()
+	if len(names) != 10 {
+		t.Fatalf("expected 10 configurations, got %d", len(names))
+	}
+}
+
+func TestNewSystemUnknown(t *testing.T) {
+	if _, err := NewSystem("oracle", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNewSystemEveryConfigLoads(t *testing.T) {
+	ds, err := GenerateDataset(Small, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Systems() {
+		eng, err := NewSystem(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := eng.Load(ds); err != nil {
+			t.Fatalf("%s load: %v", name, err)
+		}
+		if _, err := eng.Run(context.Background(), Q1Regression, DefaultParams()); err != nil {
+			t.Fatalf("%s regression: %v", name, err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("%s close: %v", name, err)
+		}
+	}
+}
+
+func TestQueriesOrder(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 5 || qs[0] != Q1Regression || qs[4] != Q5Statistics {
+		t.Fatalf("queries=%v", qs)
+	}
+}
+
+// Example demonstrates the basic workflow: generate data, pick a system,
+// run a query. (Timings vary by machine, so no fixed output is asserted.)
+func Example() {
+	ds, err := GenerateDataset(Small, 0.2, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := RunQuery(context.Background(), "scidb", ds, Q4SVD, DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	ans := res.Answer.(*SVDAnswer)
+	fmt.Println(len(ans.SingularValues) > 0)
+	// Output: true
+}

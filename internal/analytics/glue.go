@@ -1,0 +1,142 @@
+// Package analytics implements the "glue" data paths between a DBMS and an
+// external analytics runtime. The paper's configurations 3–5 differ mainly
+// in this layer: "Postgres + R" and "column store + R" export query results
+// through a text COPY stream that R re-parses (expensive, O(N) with a large
+// constant), while "column store + UDFs" passes data to in-process UDFs with
+// a binary copy (cheap). DESIGN.md §2.3 documents the one deliberate
+// exception: the biclustering UDF crosses the boundary through the text path
+// once per extracted bicluster, reproducing the interface problem the paper
+// observed ("there seem to be some issues with this interface ... such as
+// the biclustering query").
+package analytics
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"strconv"
+
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+// Glue moves data between the DBMS process and the analytics runtime,
+// returning a copy the analytics side owns. Implementations differ in cost,
+// not semantics: values round-trip exactly.
+type Glue interface {
+	Name() string
+	TransferMatrix(ctx context.Context, m *linalg.Matrix) (*linalg.Matrix, error)
+	TransferVector(ctx context.Context, v []float64) ([]float64, error)
+}
+
+// TextGlue serializes through a COPY-style tab-separated text stream and
+// parses it back — the export/reformat path of the "+ R" configurations.
+type TextGlue struct{}
+
+// Name implements Glue.
+func (TextGlue) Name() string { return "text-copy" }
+
+// TransferMatrix implements Glue: serialize every cell to text, then parse.
+func (TextGlue) TransferMatrix(ctx context.Context, m *linalg.Matrix) (*linalg.Matrix, error) {
+	var buf bytes.Buffer
+	buf.Grow(m.Rows * m.Cols * 8)
+	w := bufio.NewWriterSize(&buf, 1<<20)
+	var scratch []byte
+	for i := 0; i < m.Rows; i++ {
+		if i%256 == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				w.WriteByte('\t')
+			}
+			scratch = strconv.AppendFloat(scratch[:0], v, 'g', -1, 64)
+			w.Write(scratch)
+		}
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	// "R side": parse the stream back into a fresh matrix.
+	out := linalg.NewMatrix(m.Rows, m.Cols)
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	i := 0
+	for sc.Scan() {
+		if i >= m.Rows {
+			return nil, fmt.Errorf("analytics: too many rows in export stream")
+		}
+		if i%256 == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
+		line := sc.Bytes()
+		row := out.Row(i)
+		j, start := 0, 0
+		for k := 0; k <= len(line); k++ {
+			if k == len(line) || line[k] == '\t' {
+				if j >= m.Cols {
+					return nil, fmt.Errorf("analytics: row %d has too many fields", i)
+				}
+				v, err := strconv.ParseFloat(string(line[start:k]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("analytics: parse row %d col %d: %w", i, j, err)
+				}
+				row[j] = v
+				j++
+				start = k + 1
+			}
+		}
+		if j != m.Cols {
+			return nil, fmt.Errorf("analytics: row %d has %d fields, want %d", i, j, m.Cols)
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if i != m.Rows {
+		return nil, fmt.Errorf("analytics: got %d rows, want %d", i, m.Rows)
+	}
+	return out, nil
+}
+
+// TransferVector implements Glue.
+func (g TextGlue) TransferVector(ctx context.Context, v []float64) ([]float64, error) {
+	m := &linalg.Matrix{Rows: 1, Cols: len(v), Stride: len(v), Data: v}
+	out, err := g.TransferMatrix(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	return out.Data, nil
+}
+
+// BinaryGlue is the in-process UDF boundary: a flat binary copy.
+type BinaryGlue struct{}
+
+// Name implements Glue.
+func (BinaryGlue) Name() string { return "udf-binary" }
+
+// TransferMatrix implements Glue.
+func (BinaryGlue) TransferMatrix(ctx context.Context, m *linalg.Matrix) (*linalg.Matrix, error) {
+	if err := engine.CheckCtx(ctx); err != nil {
+		return nil, err
+	}
+	return m.Clone(), nil
+}
+
+// TransferVector implements Glue.
+func (BinaryGlue) TransferVector(ctx context.Context, v []float64) ([]float64, error) {
+	if err := engine.CheckCtx(ctx); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out, nil
+}

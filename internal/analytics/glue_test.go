@@ -1,0 +1,138 @@
+package analytics
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+func TestTextGlueRoundTripExact(t *testing.T) {
+	// strconv shortest formatting round-trips float64 exactly, so the text
+	// export path must be lossless — required for cross-engine answer
+	// equality.
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = float64(i) * 1.25
+			}
+		}
+		if len(vals) == 0 {
+			vals = []float64{0}
+		}
+		cols := len(vals)
+		m := &linalg.Matrix{Rows: 1, Cols: cols, Stride: cols, Data: vals}
+		out, err := TextGlue{}.TransferMatrix(context.Background(), m)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if out.Data[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextGlueMultiRow(t *testing.T) {
+	m := linalg.NewMatrix(5, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.1
+	}
+	out, err := TextGlue{}.TransferMatrix(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.MaxAbsDiff(m, out) != 0 {
+		t.Fatal("round trip corrupted")
+	}
+	// Must be a copy, not an alias.
+	out.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("glue must copy")
+	}
+}
+
+func TestTextGlueVector(t *testing.T) {
+	v := []float64{1.5, -2.25, 1e-300}
+	out, err := TextGlue{}.TransferVector(context.Background(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if out[i] != v[i] {
+			t.Fatalf("vector round trip: %v vs %v", out[i], v[i])
+		}
+	}
+}
+
+func TestTextGlueCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := linalg.NewMatrix(300, 10)
+	if _, err := (TextGlue{}).TransferMatrix(ctx, m); err == nil {
+		t.Fatal("expected cancellation")
+	}
+}
+
+func TestBinaryGlueCopies(t *testing.T) {
+	m := linalg.NewMatrix(3, 3)
+	m.Set(1, 1, 7)
+	out, err := BinaryGlue{}.TransferMatrix(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(1, 1) != 7 {
+		t.Fatal("copy wrong")
+	}
+	out.Set(1, 1, 8)
+	if m.At(1, 1) != 7 {
+		t.Fatal("binary glue must copy")
+	}
+	v, err := BinaryGlue{}.TransferVector(context.Background(), []float64{1, 2})
+	if err != nil || v[1] != 2 {
+		t.Fatal("vector copy wrong")
+	}
+}
+
+func TestGlueNames(t *testing.T) {
+	if (TextGlue{}).Name() != "text-copy" || (BinaryGlue{}).Name() != "udf-binary" {
+		t.Fatal("names")
+	}
+}
+
+// The whole point of the two glues: text export costs more than binary.
+func TestTextSlowerThanBinary(t *testing.T) {
+	m := linalg.NewMatrix(400, 400)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 1.000000001
+	}
+	ctx := context.Background()
+	timeIt := func(g Glue) float64 {
+		best := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			start := nowSeconds()
+			if _, err := g.TransferMatrix(ctx, m); err != nil {
+				t.Fatal(err)
+			}
+			if d := nowSeconds() - start; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	text := timeIt(TextGlue{})
+	bin := timeIt(BinaryGlue{})
+	if text <= bin {
+		t.Fatalf("text (%v) should cost more than binary (%v)", text, bin)
+	}
+}
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

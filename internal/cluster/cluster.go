@@ -1,0 +1,205 @@
+// Package cluster simulates a multi-node cluster with virtual time. This
+// machine has a single core, so real wall-clock cannot exhibit multi-node
+// speedup; instead, every distributed operator executes its real
+// per-partition work serially while the simulator charges the measured
+// duration to the owning virtual node's clock and charges communication with
+// a latency/bandwidth model. The reported query time is the virtual
+// makespan. This preserves exactly what the paper's Figures 3–4 measure:
+// per-node compute shrinks as nodes are added, communication and
+// synchronization do not, so scaling is sub-linear and redistribution-heavy
+// plans can regress (SciDB's 1→2 node slowdown). See DESIGN.md §3.3.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the cluster size (the paper uses 1, 2, 4).
+	Nodes int
+	// LatencySec is the per-message latency (default 100 µs).
+	LatencySec float64
+	// BandwidthBytesPerSec is the per-link bandwidth (default 1 GiB/s).
+	BandwidthBytesPerSec float64
+	// ComputeRate scales measured compute into virtual seconds: virtual =
+	// measured / ComputeRate. 1.0 models the host Xeon; the Xeon Phi
+	// configuration uses per-kernel rates instead (see internal/xeonphi).
+	ComputeRate float64
+}
+
+// DefaultConfig returns the calibration used by the benchmark harness:
+// gigabit Ethernet (125 MB/s, 0.5 ms latency), the class of interconnect the
+// paper's 2013-era 4-node cluster used.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:                nodes,
+		LatencySec:           100e-6,
+		BandwidthBytesPerSec: 125e6,
+		ComputeRate:          1,
+	}
+}
+
+// Cluster tracks one virtual clock per node.
+type Cluster struct {
+	cfg    Config
+	clocks []float64 // virtual seconds
+
+	// Stats for tests and the network ablation bench.
+	MessagesSent int64
+	BytesSent    int64
+}
+
+// New creates a cluster with all clocks at zero.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.LatencySec <= 0 {
+		cfg.LatencySec = 100e-6
+	}
+	if cfg.BandwidthBytesPerSec <= 0 {
+		cfg.BandwidthBytesPerSec = 1 << 30
+	}
+	if cfg.ComputeRate <= 0 {
+		cfg.ComputeRate = 1
+	}
+	return &Cluster{cfg: cfg, clocks: make([]float64, cfg.Nodes)}
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Reset zeroes all clocks and stats (called between queries).
+func (c *Cluster) Reset() {
+	for i := range c.clocks {
+		c.clocks[i] = 0
+	}
+	c.MessagesSent = 0
+	c.BytesSent = 0
+}
+
+// Exec runs fn immediately, measures its real duration, and charges it to
+// node's virtual clock (scaled by the compute rate).
+func (c *Cluster) Exec(node int, fn func() error) error {
+	c.checkNode(node)
+	start := time.Now()
+	err := fn()
+	c.clocks[node] += time.Since(start).Seconds() / c.cfg.ComputeRate
+	return err
+}
+
+// Charge adds pre-measured virtual seconds to a node's clock (used by the
+// coprocessor model, whose kernels have their own rate).
+func (c *Cluster) Charge(node int, seconds float64) {
+	c.checkNode(node)
+	if seconds > 0 {
+		c.clocks[node] += seconds
+	}
+}
+
+// Send models an asynchronous message of n bytes: the receiver's clock
+// advances to no earlier than the send time plus latency plus transmission.
+func (c *Cluster) Send(src, dst int, bytes int64) {
+	c.checkNode(src)
+	c.checkNode(dst)
+	if src == dst {
+		return
+	}
+	arrival := c.clocks[src] + c.cfg.LatencySec + float64(bytes)/c.cfg.BandwidthBytesPerSec
+	if arrival > c.clocks[dst] {
+		c.clocks[dst] = arrival
+	}
+	c.MessagesSent++
+	c.BytesSent += bytes
+}
+
+// Barrier synchronizes all nodes: every clock advances to the maximum.
+func (c *Cluster) Barrier() {
+	max := 0.0
+	for _, v := range c.clocks {
+		if v > max {
+			max = v
+		}
+	}
+	for i := range c.clocks {
+		c.clocks[i] = max
+	}
+}
+
+// Gather models every node sending bytesPerNode to root, then synchronizes
+// root to the last arrival.
+func (c *Cluster) Gather(root int, bytesPerNode int64) {
+	for i := 0; i < c.cfg.Nodes; i++ {
+		c.Send(i, root, bytesPerNode)
+	}
+}
+
+// Broadcast models root sending bytes to every other node.
+func (c *Cluster) Broadcast(root int, bytes int64) {
+	for i := 0; i < c.cfg.Nodes; i++ {
+		c.Send(root, i, bytes)
+	}
+}
+
+// AllReduce models a reduce-to-root followed by a broadcast, then a barrier
+// — the pattern behind every distributed vector sum in pbdR/ScaLAPACK.
+func (c *Cluster) AllReduce(bytesPerNode int64) {
+	c.Gather(0, bytesPerNode)
+	c.Broadcast(0, bytesPerNode)
+	c.Barrier()
+}
+
+// AllToAll models a full data exchange where every node sends bytesPerPair
+// to every other node — SciDB's chunk redistribution into ScaLAPACK's
+// block-cyclic layout.
+func (c *Cluster) AllToAll(bytesPerPair int64) {
+	for i := 0; i < c.cfg.Nodes; i++ {
+		for j := 0; j < c.cfg.Nodes; j++ {
+			c.Send(i, j, bytesPerPair)
+		}
+	}
+	c.Barrier()
+}
+
+// MakespanSeconds is the maximum virtual clock — the simulated elapsed time.
+func (c *Cluster) MakespanSeconds() float64 {
+	max := 0.0
+	for _, v := range c.clocks {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Makespan is MakespanSeconds as a duration.
+func (c *Cluster) Makespan() time.Duration {
+	return time.Duration(c.MakespanSeconds() * 1e9)
+}
+
+// Partition splits n items into per-node contiguous ranges: node i owns
+// [starts[i], starts[i+1]).
+func (c *Cluster) Partition(n int) []int {
+	nodes := c.cfg.Nodes
+	starts := make([]int, nodes+1)
+	per := n / nodes
+	rem := n % nodes
+	pos := 0
+	for i := 0; i < nodes; i++ {
+		starts[i] = pos
+		pos += per
+		if i < rem {
+			pos++
+		}
+	}
+	starts[nodes] = n
+	return starts
+}
+
+func (c *Cluster) checkNode(n int) {
+	if n < 0 || n >= c.cfg.Nodes {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes))
+	}
+}

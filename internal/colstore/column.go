@@ -1,0 +1,283 @@
+// Package colstore is the "popular column store" configuration: tables are
+// typed column segments with lightweight compression (run-length and
+// dictionary encoding), and operators are vectorized over selection vectors
+// with late materialization. Like the paper's configurations 4–5 it runs in
+// two analytics modes: exporting to an external R (text COPY) or calling R
+// through an in-process UDF interface.
+package colstore
+
+import "fmt"
+
+// Encoding names an integer column's physical layout.
+type Encoding uint8
+
+// Column encodings.
+const (
+	EncRaw Encoding = iota
+	EncRLE
+	EncDict
+)
+
+// IntColumn is a compressed immutable int64 column.
+type IntColumn struct {
+	enc Encoding
+	n   int
+
+	raw []int64
+
+	// RLE: runs of identical values.
+	runVals []int64
+	runEnds []int32 // exclusive prefix ends; runEnds[len-1] == n
+
+	// Dict: small-cardinality values.
+	dict  []int64
+	codes []uint8
+}
+
+// BuildIntColumn picks an encoding automatically: RLE when the data has few
+// runs (sorted or grouped columns), dictionary when cardinality ≤ 256,
+// otherwise raw.
+func BuildIntColumn(vals []int64) *IntColumn {
+	n := len(vals)
+	c := &IntColumn{n: n}
+	if n == 0 {
+		c.enc = EncRaw
+		return c
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+	}
+	if runs <= n/4 {
+		c.enc = EncRLE
+		c.runVals = make([]int64, 0, runs)
+		c.runEnds = make([]int32, 0, runs)
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && vals[j] == vals[i] {
+				j++
+			}
+			c.runVals = append(c.runVals, vals[i])
+			c.runEnds = append(c.runEnds, int32(j))
+			i = j
+		}
+		return c
+	}
+	distinct := make(map[int64]uint8)
+	for _, v := range vals {
+		if _, ok := distinct[v]; !ok {
+			if len(distinct) == 256 {
+				distinct = nil
+				break
+			}
+			distinct[v] = uint8(len(distinct))
+		}
+	}
+	if distinct != nil {
+		c.enc = EncDict
+		c.dict = make([]int64, len(distinct))
+		for v, code := range distinct {
+			c.dict[code] = v
+		}
+		c.codes = make([]uint8, n)
+		for i, v := range vals {
+			c.codes[i] = distinct[v]
+		}
+		return c
+	}
+	c.enc = EncRaw
+	c.raw = make([]int64, n)
+	copy(c.raw, vals)
+	return c
+}
+
+// Len returns the row count.
+func (c *IntColumn) Len() int { return c.n }
+
+// Encoding returns the physical layout chosen at build time.
+func (c *IntColumn) Encoding() Encoding { return c.enc }
+
+// At decodes one value (row access; the vectorized paths below are the fast
+// ones).
+func (c *IntColumn) At(i int) int64 {
+	switch c.enc {
+	case EncRaw:
+		return c.raw[i]
+	case EncDict:
+		return c.dict[c.codes[i]]
+	default:
+		// Binary search the run containing i.
+		lo, hi := 0, len(c.runEnds)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int32(i) < c.runEnds[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return c.runVals[lo]
+	}
+}
+
+// Select appends to sel the positions where pred holds, operating directly
+// on the compressed form (whole runs and dictionary codes are tested once).
+func (c *IntColumn) Select(pred func(int64) bool, sel []int32) []int32 {
+	switch c.enc {
+	case EncRaw:
+		for i, v := range c.raw {
+			if pred(v) {
+				sel = append(sel, int32(i))
+			}
+		}
+	case EncDict:
+		match := make([]bool, len(c.dict))
+		any := false
+		for code, v := range c.dict {
+			if pred(v) {
+				match[code] = true
+				any = true
+			}
+		}
+		if !any {
+			return sel
+		}
+		for i, code := range c.codes {
+			if match[code] {
+				sel = append(sel, int32(i))
+			}
+		}
+	default:
+		start := int32(0)
+		for r, v := range c.runVals {
+			end := c.runEnds[r]
+			if pred(v) {
+				for i := start; i < end; i++ {
+					sel = append(sel, i)
+				}
+			}
+			start = end
+		}
+	}
+	return sel
+}
+
+// SelectRefine keeps only the positions of sel where pred holds (applying a
+// conjunct to an existing selection vector).
+func (c *IntColumn) SelectRefine(pred func(int64) bool, sel []int32) []int32 {
+	out := sel[:0]
+	for _, i := range sel {
+		if pred(c.At(int(i))) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Gather decodes the values at the selected positions.
+func (c *IntColumn) Gather(sel []int32, out []int64) []int64 {
+	out = out[:0]
+	for _, i := range sel {
+		out = append(out, c.At(int(i)))
+	}
+	return out
+}
+
+// Materialize decodes the whole column.
+func (c *IntColumn) Materialize() []int64 {
+	out := make([]int64, c.n)
+	switch c.enc {
+	case EncRaw:
+		copy(out, c.raw)
+	case EncDict:
+		for i, code := range c.codes {
+			out[i] = c.dict[code]
+		}
+	default:
+		start := int32(0)
+		for r, v := range c.runVals {
+			for i := start; i < c.runEnds[r]; i++ {
+				out[i] = v
+			}
+			start = c.runEnds[r]
+		}
+	}
+	return out
+}
+
+// CompressedBytes approximates the column's storage footprint, for the
+// compression ablation bench.
+func (c *IntColumn) CompressedBytes() int {
+	switch c.enc {
+	case EncRaw:
+		return 8 * len(c.raw)
+	case EncDict:
+		return 8*len(c.dict) + len(c.codes)
+	default:
+		return 12 * len(c.runVals)
+	}
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name string
+	n    int
+	ints map[string]*IntColumn
+	flts map[string][]float64
+}
+
+// NewTable creates an empty n-row table.
+func NewTable(name string, n int) *Table {
+	return &Table{Name: name, n: n, ints: map[string]*IntColumn{}, flts: map[string][]float64{}}
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return t.n }
+
+// AddInt builds and attaches a compressed integer column.
+func (t *Table) AddInt(name string, vals []int64) *Table {
+	if len(vals) != t.n {
+		panic(fmt.Sprintf("colstore: column %s has %d rows, table has %d", name, len(vals), t.n))
+	}
+	t.ints[name] = BuildIntColumn(vals)
+	return t
+}
+
+// AddFloat attaches a float column (stored raw; expression values do not
+// compress).
+func (t *Table) AddFloat(name string, vals []float64) *Table {
+	if len(vals) != t.n {
+		panic(fmt.Sprintf("colstore: column %s has %d rows, table has %d", name, len(vals), t.n))
+	}
+	t.flts[name] = vals
+	return t
+}
+
+// Int returns a compressed integer column.
+func (t *Table) Int(name string) *IntColumn {
+	c, ok := t.ints[name]
+	if !ok {
+		panic(fmt.Sprintf("colstore: no int column %q in %s", name, t.Name))
+	}
+	return c
+}
+
+// Float returns a float column.
+func (t *Table) Float(name string) []float64 {
+	c, ok := t.flts[name]
+	if !ok {
+		panic(fmt.Sprintf("colstore: no float column %q in %s", name, t.Name))
+	}
+	return c
+}
+
+// GatherFloat gathers a float column through a selection vector.
+func GatherFloat(col []float64, sel []int32, out []float64) []float64 {
+	out = out[:0]
+	for _, i := range sel {
+		out = append(out, col[i])
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/genbase/genbase/internal/arraydb"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+// This file implements the experiments the paper proposes but could not run:
+//
+//   - §5.2: "in reality, the genomics data should scale in size with the
+//     number of nodes in the cluster ('weak scaling'). We intend to run our
+//     benchmarks on larger scale clusters using weak scaling."
+//   - §4.4: "If this paper is accepted, we will test our code on a similar
+//     48 node configuration at a national supercomputing center."
+//
+// The virtual cluster makes both possible here.
+
+// WeakScalingSystems are the configurations swept by the extension
+// experiments (the distributed-analytics systems).
+func WeakScalingSystems() []string { return []string{"pbdr", "colstore-pbdr", "scidb"} }
+
+// RunWeakScaling grows the dataset with the cluster following the paper's
+// own model (§3: "up to 10⁸⁻¹⁰ samples ... with each node handling 10⁴⁻⁵
+// samples"): at n nodes the medium preset keeps its gene dimension and
+// carries n× the patients, so every node holds a constant number of
+// samples. Patient-proportional kernels (Gram, covariance, regression) then
+// do constant work per node, and under ideal weak scaling per-query virtual
+// time stays flat; rising curves expose communication terms that grow with
+// the cluster. Returns one table for Q1 (regression) and one for Q2
+// (covariance).
+func (s *Suite) RunWeakScaling(ctx context.Context, nodeCounts []int) ([]*Table, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 4, 8}
+	}
+	r := s.runner()
+	p := s.params()
+	cols := nodeLabelSet(nodeCounts)
+	reg := NewTable("Extension (paper §5.2): Weak scaling, regression — samples/node constant (virtual seconds)",
+		"system", WeakScalingSystems(), cols)
+	cov := NewTable("Extension (paper §5.2): Weak scaling, covariance — samples/node constant (virtual seconds)",
+		"system", WeakScalingSystems(), cols)
+
+	baseScale := s.Scale
+	if baseScale <= 0 {
+		baseScale = 1
+	}
+	for _, nodes := range nodeCounts {
+		ds, err := datagen.Generate(datagen.Config{
+			Size: datagen.Medium, Scale: baseScale,
+			PatientScale: float64(nodes), Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range WeakScalingSystems() {
+			cfg, err := ConfigByName(name)
+			if err != nil {
+				return nil, err
+			}
+			outs, err := r.RunClusterSystem(ctx, cfg, ds, nodes, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: weak scaling %s/%d: %w", name, nodes, err)
+			}
+			for _, o := range outs {
+				switch o.Query {
+				case engine.Q1Regression:
+					reg.Set(name, nodeLabel(nodes), cellFromOutcome(o, o.Timing.Total().Seconds()))
+				case engine.Q2Covariance:
+					cov.Set(name, nodeLabel(nodes), cellFromOutcome(o, o.Timing.Total().Seconds()))
+				}
+			}
+			s.progress("weak-scaling %-16s %2d nodes (%dx%d) done", name, nodes, ds.Dims.Genes, ds.Dims.Patients)
+		}
+	}
+	return []*Table{reg, cov}, nil
+}
+
+// RunLargeCluster runs the strong-scaling sweep the authors planned for a
+// 48-node installation: the large dataset, regression and SVD, node counts
+// up to 48. Expect the paper's §6.1 prediction to materialize: with fixed
+// data, per-node compute shrinks while synchronization does not, so curves
+// flatten (and eventually turn upward) well before 48 nodes.
+func (s *Suite) RunLargeCluster(ctx context.Context, nodeCounts []int) ([]*Table, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 4, 8, 16, 32, 48}
+	}
+	ds, err := s.Dataset(datagen.Large)
+	if err != nil {
+		return nil, err
+	}
+	r := s.runner()
+	p := s.params()
+	cols := nodeLabelSet(nodeCounts)
+	reg := NewTable("Extension (paper §4.4): 48-node strong scaling, regression, large dataset (virtual seconds)",
+		"system", WeakScalingSystems(), cols)
+	svd := NewTable("Extension (paper §4.4): 48-node strong scaling, SVD, large dataset (virtual seconds)",
+		"system", WeakScalingSystems(), cols)
+	for _, nodes := range nodeCounts {
+		for _, name := range WeakScalingSystems() {
+			cfg, err := ConfigByName(name)
+			if err != nil {
+				return nil, err
+			}
+			outs, err := r.RunClusterSystem(ctx, cfg, ds, nodes, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: large cluster %s/%d: %w", name, nodes, err)
+			}
+			for _, o := range outs {
+				switch o.Query {
+				case engine.Q1Regression:
+					reg.Set(name, nodeLabel(nodes), cellFromOutcome(o, o.Timing.Total().Seconds()))
+				case engine.Q4SVD:
+					svd.Set(name, nodeLabel(nodes), cellFromOutcome(o, o.Timing.Total().Seconds()))
+				}
+			}
+			s.progress("48-node      %-16s %2d nodes done", name, nodes)
+		}
+	}
+	return []*Table{reg, svd}, nil
+}
+
+// RunApproxSVD compares the exact Lanczos SVD against the randomized
+// approximate SVD the paper's §6.3 calls for, on the xlarge dataset none of
+// the paper's systems could finish: "approximation algorithms may have
+// allowed us to scale to the 60K × 70K dataset". Rows are algorithms,
+// columns dataset sizes; the answer agreement is reported alongside.
+func (s *Suite) RunApproxSVD(ctx context.Context, sizes []datagen.Size) (*Table, []float64, error) {
+	if len(sizes) == 0 {
+		sizes = []datagen.Size{datagen.Medium, datagen.Large, datagen.XLarge}
+	}
+	p := s.params()
+	// Use the paper's actual k = 50 singular values: the randomized method's
+	// advantage grows with k (Lanczos pays quadratic reorthogonalization in
+	// its subspace size; the sketch does a fixed number of passes).
+	p.SVDK = 50
+	r := s.runner()
+	labels := make([]string, 0, len(sizes))
+	datasets := make([]*datagen.Dataset, 0, len(sizes))
+	for _, size := range sizes {
+		ds, err := s.Dataset(size)
+		if err != nil {
+			return nil, nil, err
+		}
+		datasets = append(datasets, ds)
+		labels = append(labels, fmt.Sprintf("%dx%d", ds.Dims.Genes, ds.Dims.Patients))
+	}
+	t := NewTable("Extension (paper §6.3): exact Lanczos vs randomized SVD, k=50 (seconds)",
+		"algorithm", []string{"lanczos-exact", "randomized-approx"}, labels)
+	var agreement []float64
+	for i, ds := range datasets {
+		cfg, err := ConfigByName("scidb")
+		if err != nil {
+			return nil, nil, err
+		}
+		// Exact path: the regular Q4.
+		exactOuts, err := r.RunSystem(ctx, cfg, ds, 1, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		var exact Outcome
+		for _, o := range exactOuts {
+			if o.Query == engine.Q4SVD {
+				exact = o
+			}
+		}
+		t.Set("lanczos-exact", labels[i], cellFromOutcome(exact, exact.Timing.Total().Seconds()))
+
+		// Approximate path.
+		approx := runApproxSVDOnce(ctx, ds, p, r.timeout())
+		t.Set("randomized-approx", labels[i], cellFromOutcome(approx, approx.Timing.Total().Seconds()))
+
+		if exact.Completed() && approx.Completed() {
+			ev := exact.Answer.(*engine.SVDAnswer).SingularValues
+			av := approx.Answer.(*engine.SVDAnswer).SingularValues
+			worst := 0.0
+			for j := range ev {
+				rel := math.Abs(ev[j]-av[j]) / (1 + ev[0])
+				if rel > worst {
+					worst = rel
+				}
+			}
+			agreement = append(agreement, worst)
+		} else {
+			agreement = append(agreement, math.NaN())
+		}
+		s.progress("approx-svd   %-10s done", labels[i])
+	}
+	return t, agreement, nil
+}
+
+// runApproxSVDOnce performs Q4's data management on the array engine's
+// storage (filter genes, gather the sub-array) and then the randomized SVD
+// kernel instead of Lanczos, with the usual cutoff semantics.
+func runApproxSVDOnce(ctx context.Context, ds *datagen.Dataset, p engine.Params, timeout time.Duration) Outcome {
+	out := Outcome{System: "scidb-approx", Query: engine.Q4SVD, Dataset: ds.Size, Nodes: 1}
+	arr := arraydb.FromMatrix(ds.Expression, 0, 0) // load, not timed
+	start := time.Now()
+	var sw engine.StopWatch
+	sw.StartDM()
+	var genes []int64
+	for _, g := range ds.Genes {
+		if int64(g.Function) < p.FunctionThreshold {
+			genes = append(genes, int64(g.ID))
+		}
+	}
+	sub := arr.GatherCols(genes).Materialize()
+	sw.StartAnalytics()
+	// PowerIters −1 selects q = 0: the pure single-sketch variant, the
+	// cheapest member of the family (worst-case error ~1% on this data).
+	res, err := linalg.RandomizedSVD(sub, p.SVDK, linalg.RandSVDOptions{Seed: p.Seed, PowerIters: -1, Oversample: 10})
+	sw.Stop()
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if time.Since(start) > timeout {
+		out.Infinite = true
+		return out
+	}
+	out.Timing = sw.Timing()
+	out.Answer = &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: res.SingularValues}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/genbase/genbase/internal/datagen"
+)
+
+func extSuite() *Suite {
+	return &Suite{Scale: 0.06, Seed: 7, Timeout: 30 * time.Second} // tiny dims
+}
+
+func TestWeakScalingTables(t *testing.T) {
+	s := extSuite()
+	tables, err := s.RunWeakScaling(context.Background(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("expected 2 tables, got %d", len(tables))
+	}
+	for _, tbl := range tables {
+		for _, sys := range WeakScalingSystems() {
+			for _, col := range tbl.ColLabels {
+				c := tbl.Get(sys, col)
+				if c.Missing || c.Infinite {
+					t.Fatalf("%s: %s/%s missing", tbl.Title, sys, col)
+				}
+				if c.Seconds <= 0 {
+					t.Fatalf("%s: %s/%s has no time", tbl.Title, sys, col)
+				}
+			}
+		}
+	}
+}
+
+func TestLargeClusterTables(t *testing.T) {
+	s := extSuite()
+	tables, err := s.RunLargeCluster(context.Background(), []int{1, 8, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tables[0]
+	for _, sys := range WeakScalingSystems() {
+		for _, col := range reg.ColLabels {
+			if reg.Get(sys, col).Missing {
+				t.Fatalf("%s/%s missing", sys, col)
+			}
+		}
+	}
+	// §6.1's prediction: at 48 nodes on a small fixed dataset, communication
+	// dominates — 48 nodes must NOT be dramatically faster than 8.
+	for _, sys := range WeakScalingSystems() {
+		t8 := reg.Get(sys, "8 node(s)").Seconds
+		t48 := reg.Get(sys, "48 node(s)").Seconds
+		if t48 < t8/6 {
+			t.Fatalf("%s: 48-node speedup vs 8 nodes is implausibly ideal (%v vs %v)", sys, t8, t48)
+		}
+	}
+}
+
+func TestApproxSVDExtension(t *testing.T) {
+	s := extSuite()
+	tbl, agreement, err := s.RunApproxSVD(context.Background(), []datagen.Size{datagen.Small, datagen.Medium})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range tbl.ColLabels {
+		exact := tbl.Get("lanczos-exact", col)
+		approx := tbl.Get("randomized-approx", col)
+		if exact.Missing || approx.Missing {
+			t.Fatalf("missing cells in %s", col)
+		}
+	}
+	for _, a := range agreement {
+		if math.IsNaN(a) {
+			t.Fatal("agreement not computed")
+		}
+		if a > 0.05 {
+			t.Fatalf("approximate SVD disagrees by %v", a)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one chart data point.
+type Cell struct {
+	Seconds  float64
+	Infinite bool // cutoff or memory failure (the paper's horizontal lines)
+	Missing  bool // system cannot run this query / not measured
+}
+
+func (c Cell) String() string {
+	switch {
+	case c.Missing:
+		return "-"
+	case c.Infinite:
+		return "INF"
+	default:
+		return fmt.Sprintf("%.3f", c.Seconds)
+	}
+}
+
+// Table is a rendered experiment: one paper figure panel or table.
+type Table struct {
+	Title     string
+	RowHeader string
+	RowLabels []string
+	ColLabels []string
+	Cells     [][]Cell
+}
+
+// NewTable allocates an all-Missing table.
+func NewTable(title, rowHeader string, rows, cols []string) *Table {
+	t := &Table{Title: title, RowHeader: rowHeader, RowLabels: rows, ColLabels: cols}
+	t.Cells = make([][]Cell, len(rows))
+	for i := range t.Cells {
+		t.Cells[i] = make([]Cell, len(cols))
+		for j := range t.Cells[i] {
+			t.Cells[i][j] = Cell{Missing: true}
+		}
+	}
+	return t
+}
+
+// Set assigns a cell by labels (panics on unknown labels — experiment
+// definitions are static).
+func (t *Table) Set(row, col string, c Cell) {
+	i := indexOfLabel(t.RowLabels, row)
+	j := indexOfLabel(t.ColLabels, col)
+	t.Cells[i][j] = c
+}
+
+// Get fetches a cell by labels.
+func (t *Table) Get(row, col string) Cell {
+	return t.Cells[indexOfLabel(t.RowLabels, row)][indexOfLabel(t.ColLabels, col)]
+}
+
+func indexOfLabel(labels []string, l string) int {
+	for i, v := range labels {
+		if v == l {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: unknown label %q in %v", l, labels))
+}
+
+// Render formats the table as aligned text, the harness's chart substitute.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	widths := make([]int, len(t.ColLabels)+1)
+	widths[0] = len(t.RowHeader)
+	for _, r := range t.RowLabels {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	for j, c := range t.ColLabels {
+		widths[j+1] = len(c)
+		for i := range t.RowLabels {
+			if n := len(t.Cells[i][j].String()); n > widths[j+1] {
+				widths[j+1] = n
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[j], c)
+		}
+		b.WriteByte('\n')
+	}
+	header := append([]string{t.RowHeader}, t.ColLabels...)
+	writeRow(header)
+	for i, r := range t.RowLabels {
+		row := make([]string, 0, len(t.ColLabels)+1)
+		row = append(row, r)
+		for j := range t.ColLabels {
+			row = append(row, t.Cells[i][j].String())
+		}
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func cellFromOutcome(o Outcome, seconds float64) Cell {
+	switch {
+	case o.Unsupported:
+		return Cell{Missing: true}
+	case o.Infinite:
+		return Cell{Infinite: true}
+	case o.Err != nil:
+		return Cell{Missing: true}
+	default:
+		return Cell{Seconds: seconds}
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// Suite regenerates the paper's evaluation. Each FigureN method returns one
+// text table per chart panel; RunX methods return raw outcomes for callers
+// that want the numbers.
+type Suite struct {
+	// Sizes to sweep (default small, medium, large — §3.1: "none of the
+	// systems could run on the extra large data set").
+	Sizes []datagen.Size
+	// Scale multiplies the preset dimensions (1.0 = 1/20 of the paper).
+	Scale float64
+	// Seed drives data generation.
+	Seed uint64
+	// Timeout is the per-query cutoff.
+	Timeout time.Duration
+	// Params overrides the query parameters (zero value = DefaultParams).
+	Params *engine.Params
+	// Nodes for the multi-node experiments (default 1, 2, 4).
+	Nodes []int
+	// Repetitions per query (min kept); see Runner.Repetitions.
+	Repetitions int
+	// Progress, when non-nil, receives a line per completed system/dataset.
+	Progress func(format string, args ...any)
+
+	datasets map[datagen.Size]*datagen.Dataset
+}
+
+func (s *Suite) sizes() []datagen.Size {
+	if len(s.Sizes) > 0 {
+		return s.Sizes
+	}
+	return []datagen.Size{datagen.Small, datagen.Medium, datagen.Large}
+}
+
+func (s *Suite) nodes() []int {
+	if len(s.Nodes) > 0 {
+		return s.Nodes
+	}
+	return []int{1, 2, 4}
+}
+
+func (s *Suite) params() engine.Params {
+	if s.Params != nil {
+		return *s.Params
+	}
+	return engine.DefaultParams()
+}
+
+func (s *Suite) runner() Runner { return Runner{Timeout: s.Timeout, Repetitions: s.Repetitions} }
+
+func (s *Suite) progress(format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(format, args...)
+	}
+}
+
+// Dataset returns (and caches) the dataset for a size.
+func (s *Suite) Dataset(size datagen.Size) (*datagen.Dataset, error) {
+	if s.datasets == nil {
+		s.datasets = make(map[datagen.Size]*datagen.Dataset)
+	}
+	if ds, ok := s.datasets[size]; ok {
+		return ds, nil
+	}
+	ds, err := datagen.Generate(datagen.Config{Size: size, Scale: s.Scale, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	s.datasets[size] = ds
+	return ds, nil
+}
+
+// sizeLabels renders sizes as the paper's axis labels (e.g. "250x250" for
+// the scaled 5k×5k).
+func (s *Suite) sizeLabels() ([]string, error) {
+	labels := make([]string, 0, len(s.sizes()))
+	for _, size := range s.sizes() {
+		ds, err := s.Dataset(size)
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, fmt.Sprintf("%dx%d", ds.Dims.Genes, ds.Dims.Patients))
+	}
+	return labels, nil
+}
+
+// RunSingleNode produces the outcome set behind Figures 1 and 2.
+func (s *Suite) RunSingleNode(ctx context.Context) ([]Outcome, error) {
+	var outs []Outcome
+	r := s.runner()
+	p := s.params()
+	for _, size := range s.sizes() {
+		ds, err := s.Dataset(size)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range SingleNodeConfigs() {
+			res, err := r.RunSystem(ctx, cfg, ds, 1, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s: %w", cfg.Name, size, err)
+			}
+			outs = append(outs, res...)
+			s.progress("single-node %-16s %-7s done", cfg.Name, size)
+		}
+	}
+	return outs, nil
+}
+
+// RunMultiNode produces the outcome set behind Figures 3 and 4, on the
+// large dataset ("to economize space, we present results only for the large
+// data set").
+func (s *Suite) RunMultiNode(ctx context.Context) ([]Outcome, error) {
+	ds, err := s.Dataset(datagen.Large)
+	if err != nil {
+		return nil, err
+	}
+	var outs []Outcome
+	r := s.runner()
+	p := s.params()
+	for _, nodes := range s.nodes() {
+		for _, cfg := range MultiNodeConfigs() {
+			res, err := r.RunClusterSystem(ctx, cfg, ds, nodes, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %d nodes: %w", cfg.Name, nodes, err)
+			}
+			outs = append(outs, res...)
+			s.progress("multi-node  %-16s %d nodes done", cfg.Name, nodes)
+		}
+	}
+	return outs, nil
+}
+
+// RunPhi produces the outcome set behind Figure 5: SciDB vs SciDB + Xeon
+// Phi, single node, all sizes.
+func (s *Suite) RunPhi(ctx context.Context) ([]Outcome, error) {
+	var outs []Outcome
+	r := s.runner()
+	p := s.params()
+	for _, size := range s.sizes() {
+		ds, err := s.Dataset(size)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"scidb", "scidb-phi"} {
+			cfg, err := ConfigByName(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.RunSystem(ctx, cfg, ds, 1, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s: %w", name, size, err)
+			}
+			outs = append(outs, res...)
+			s.progress("phi         %-16s %-7s done", name, size)
+		}
+	}
+	return outs, nil
+}
+
+// RunPhiMultiNode produces Table 1's outcomes: SciDB vs SciDB + Phi on the
+// large dataset across node counts.
+func (s *Suite) RunPhiMultiNode(ctx context.Context) ([]Outcome, error) {
+	ds, err := s.Dataset(datagen.Large)
+	if err != nil {
+		return nil, err
+	}
+	var outs []Outcome
+	r := s.runner()
+	p := s.params()
+	for _, nodes := range s.nodes() {
+		for _, name := range []string{"scidb", "scidb-phi"} {
+			cfg, err := ConfigByName(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.RunClusterSystem(ctx, cfg, ds, nodes, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %d nodes: %w", name, nodes, err)
+			}
+			outs = append(outs, res...)
+			s.progress("table1      %-16s %d nodes done", name, nodes)
+		}
+	}
+	return outs, nil
+}
+
+var queryPanels = []struct {
+	letter string
+	q      engine.QueryID
+	title  string
+}{
+	{"a", engine.Q1Regression, "Linear Regression"},
+	{"b", engine.Q3Biclustering, "Biclustering"},
+	{"c", engine.Q4SVD, "SVD"},
+	{"d", engine.Q2Covariance, "Covariance"},
+	{"e", engine.Q5Statistics, "Statistics"},
+}
+
+// Figure1 renders the five panels of Figure 1 (overall single-node query
+// time, seconds) from single-node outcomes.
+func (s *Suite) Figure1(outs []Outcome) ([]*Table, error) {
+	labels, err := s.sizeLabels()
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for _, panel := range queryPanels {
+		t := NewTable(
+			fmt.Sprintf("Figure 1%s: %s Query Performance (seconds)", panel.letter, panel.title),
+			"system", systemNames(SingleNodeConfigs()), labels)
+		for _, o := range outs {
+			if o.Query != panel.q {
+				continue
+			}
+			t.Set(o.System, s.labelOf(o.Dataset), cellFromOutcome(o, o.Timing.Total().Seconds()))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Figure2 renders the regression DM/analytics breakdown (Figure 2a–b). The
+// paper folds export/reformat time into data management.
+func (s *Suite) Figure2(outs []Outcome) ([]*Table, error) {
+	labels, err := s.sizeLabels()
+	if err != nil {
+		return nil, err
+	}
+	dm := NewTable("Figure 2a: Linear Regression Data Management Performance (seconds)",
+		"system", systemNames(SingleNodeConfigs()), labels)
+	an := NewTable("Figure 2b: Linear Regression Analytics Performance (seconds)",
+		"system", systemNames(SingleNodeConfigs()), labels)
+	for _, o := range outs {
+		if o.Query != engine.Q1Regression {
+			continue
+		}
+		dm.Set(o.System, s.labelOf(o.Dataset),
+			cellFromOutcome(o, o.Timing.DataManagement.Seconds()+o.Timing.Transfer.Seconds()))
+		an.Set(o.System, s.labelOf(o.Dataset), cellFromOutcome(o, o.Timing.Analytics.Seconds()))
+	}
+	return []*Table{dm, an}, nil
+}
+
+// Figure3 renders the five multi-node panels (overall time vs node count,
+// large dataset).
+func (s *Suite) Figure3(outs []Outcome) []*Table {
+	nodeLabels := nodeLabelSet(s.nodes())
+	var tables []*Table
+	for _, panel := range queryPanels {
+		t := NewTable(
+			fmt.Sprintf("Figure 3%s: %s Query Performance, 30k x 40k-scaled Dataset (seconds)", panel.letter, panel.title),
+			"system", systemNames(MultiNodeConfigs()), nodeLabels)
+		for _, o := range outs {
+			if o.Query != panel.q {
+				continue
+			}
+			t.Set(o.System, nodeLabel(o.Nodes), cellFromOutcome(o, o.Timing.Total().Seconds()))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Figure4 renders the multi-node regression DM/analytics breakdown.
+func (s *Suite) Figure4(outs []Outcome) []*Table {
+	nodeLabels := nodeLabelSet(s.nodes())
+	dm := NewTable("Figure 4a: Linear Regression Data Management Performance, large dataset (seconds)",
+		"system", systemNames(MultiNodeConfigs()), nodeLabels)
+	an := NewTable("Figure 4b: Linear Regression Analytics Performance, large dataset (seconds)",
+		"system", systemNames(MultiNodeConfigs()), nodeLabels)
+	for _, o := range outs {
+		if o.Query != engine.Q1Regression {
+			continue
+		}
+		dm.Set(o.System, nodeLabel(o.Nodes),
+			cellFromOutcome(o, o.Timing.DataManagement.Seconds()+o.Timing.Transfer.Seconds()))
+		an.Set(o.System, nodeLabel(o.Nodes), cellFromOutcome(o, o.Timing.Analytics.Seconds()))
+	}
+	return []*Table{dm, an}
+}
+
+var phiPanels = []struct {
+	letter string
+	q      engine.QueryID
+	title  string
+}{
+	{"a", engine.Q3Biclustering, "Biclustering"},
+	{"b", engine.Q4SVD, "SVD"},
+	{"c", engine.Q2Covariance, "Covariance"},
+	{"d", engine.Q5Statistics, "Statistics"},
+}
+
+// Figure5 renders SciDB vs SciDB + Xeon Phi across sizes (regression is
+// excluded: "the Intel MKL automatic offload of this operation is currently
+// not fully supported").
+func (s *Suite) Figure5(outs []Outcome) ([]*Table, error) {
+	labels, err := s.sizeLabels()
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for _, panel := range phiPanels {
+		t := NewTable(
+			fmt.Sprintf("Figure 5%s: %s Query Performance, SciDB v. SciDB + Xeon Phi (seconds)", panel.letter, panel.title),
+			"system", []string{"scidb", "scidb-phi"}, labels)
+		for _, o := range outs {
+			if o.Query != panel.q {
+				continue
+			}
+			t.Set(o.System, s.labelOf(o.Dataset), cellFromOutcome(o, o.Timing.Total().Seconds()))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Table1 renders analytics speedups of the Phi configuration versus host
+// SciDB across node counts on the large dataset.
+func (s *Suite) Table1(outs []Outcome) *Table {
+	nodeLabels := nodeLabelSet(s.nodes())
+	t := NewTable("Table 1: Analytics speedup of Xeon Phi vs host on SciDB+ScaLAPACK (ratio)",
+		"benchmark", []string{"Covariance", "SVD", "Statistics", "Biclustering"}, nodeLabels)
+	rowOf := map[engine.QueryID]string{
+		engine.Q2Covariance:   "Covariance",
+		engine.Q4SVD:          "SVD",
+		engine.Q5Statistics:   "Statistics",
+		engine.Q3Biclustering: "Biclustering",
+	}
+	type key struct {
+		q     engine.QueryID
+		nodes int
+	}
+	host := map[key]float64{}
+	phi := map[key]float64{}
+	for _, o := range outs {
+		if !o.Completed() {
+			continue
+		}
+		k := key{o.Query, o.Nodes}
+		analytics := o.Timing.Analytics.Seconds() + o.Timing.Transfer.Seconds()
+		switch o.System {
+		case "scidb":
+			host[k] = analytics
+		case "scidb-phi":
+			phi[k] = analytics
+		}
+	}
+	for k, h := range host {
+		row, ok := rowOf[k.q]
+		if !ok {
+			continue
+		}
+		if p, ok := phi[k]; ok && p > 0 {
+			t.Set(row, nodeLabel(k.nodes), Cell{Seconds: h / p})
+		}
+	}
+	return t
+}
+
+func (s *Suite) labelOf(size datagen.Size) string {
+	ds := s.datasets[size]
+	return fmt.Sprintf("%dx%d", ds.Dims.Genes, ds.Dims.Patients)
+}
+
+func systemNames(cfgs []SystemConfig) []string {
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func nodeLabel(n int) string { return fmt.Sprintf("%d node(s)", n) }
+
+func nodeLabelSet(nodes []int) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = nodeLabel(n)
+	}
+	return out
+}

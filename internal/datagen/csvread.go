@@ -1,0 +1,186 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+// ReadCSVDir loads a dataset previously written by WriteCSVDir (or authored
+// by hand in the same relational layout). Planted-structure provenance
+// (causal genes, enriched terms) is not part of the CSV format and is left
+// empty.
+func ReadCSVDir(dir string) (*Dataset, error) {
+	manifest, err := readCSVFile(filepath.Join(dir, "manifest.csv"))
+	if err != nil {
+		return nil, err
+	}
+	if len(manifest) != 2 || len(manifest[1]) < 5 {
+		return nil, fmt.Errorf("datagen: malformed manifest.csv")
+	}
+	ds := &Dataset{Size: Size(manifest[1][0])}
+	if ds.Dims.Patients, err = strconv.Atoi(manifest[1][1]); err != nil {
+		return nil, fmt.Errorf("datagen: manifest patients: %w", err)
+	}
+	if ds.Dims.Genes, err = strconv.Atoi(manifest[1][2]); err != nil {
+		return nil, fmt.Errorf("datagen: manifest genes: %w", err)
+	}
+	if ds.Dims.GOTerms, err = strconv.Atoi(manifest[1][3]); err != nil {
+		return nil, fmt.Errorf("datagen: manifest goterms: %w", err)
+	}
+	if ds.Seed, err = strconv.ParseUint(manifest[1][4], 10, 64); err != nil {
+		return nil, fmt.Errorf("datagen: manifest seed: %w", err)
+	}
+
+	ds.Expression = linalg.NewMatrix(ds.Dims.Patients, ds.Dims.Genes)
+	if err := readTripleFile(filepath.Join(dir, "microarray.csv"), func(f []string) error {
+		g, err := strconv.Atoi(f[0])
+		if err != nil {
+			return err
+		}
+		p, err := strconv.Atoi(f[1])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return err
+		}
+		if p < 0 || p >= ds.Dims.Patients || g < 0 || g >= ds.Dims.Genes {
+			return fmt.Errorf("cell (%d,%d) out of bounds", p, g)
+		}
+		ds.Expression.Set(p, g, v)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	pats, err := readCSVFile(filepath.Join(dir, "patients.csv"))
+	if err != nil {
+		return nil, err
+	}
+	ds.Patients = make([]Patient, 0, ds.Dims.Patients)
+	for _, row := range pats[1:] {
+		if len(row) != 6 {
+			return nil, fmt.Errorf("datagen: patients.csv row has %d fields", len(row))
+		}
+		id, _ := strconv.Atoi(row[0])
+		age, _ := strconv.Atoi(row[1])
+		if len(row[2]) != 1 {
+			return nil, fmt.Errorf("datagen: bad gender %q", row[2])
+		}
+		zip, _ := strconv.Atoi(row[3])
+		dis, _ := strconv.Atoi(row[4])
+		resp, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, err
+		}
+		ds.Patients = append(ds.Patients, Patient{
+			ID: int32(id), Age: int32(age), Gender: row[2][0],
+			Zipcode: int32(zip), DiseaseID: int32(dis), DrugResponse: resp,
+		})
+	}
+	if len(ds.Patients) != ds.Dims.Patients {
+		return nil, fmt.Errorf("datagen: %d patients, manifest says %d", len(ds.Patients), ds.Dims.Patients)
+	}
+
+	genes, err := readCSVFile(filepath.Join(dir, "genes.csv"))
+	if err != nil {
+		return nil, err
+	}
+	ds.Genes = make([]Gene, 0, ds.Dims.Genes)
+	for _, row := range genes[1:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("datagen: genes.csv row has %d fields", len(row))
+		}
+		id, _ := strconv.Atoi(row[0])
+		target, _ := strconv.Atoi(row[1])
+		pos, _ := strconv.Atoi(row[2])
+		length, _ := strconv.Atoi(row[3])
+		fn, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, err
+		}
+		ds.Genes = append(ds.Genes, Gene{
+			ID: int32(id), Target: int32(target), Position: int32(pos),
+			Length: int32(length), Function: int32(fn),
+		})
+	}
+	if len(ds.Genes) != ds.Dims.Genes {
+		return nil, fmt.Errorf("datagen: %d genes, manifest says %d", len(ds.Genes), ds.Dims.Genes)
+	}
+
+	ds.GO = make([]uint8, ds.Dims.Genes*ds.Dims.GOTerms)
+	if err := readTripleFile(filepath.Join(dir, "go.csv"), func(f []string) error {
+		g, err := strconv.Atoi(f[0])
+		if err != nil {
+			return err
+		}
+		t, err := strconv.Atoi(f[1])
+		if err != nil {
+			return err
+		}
+		if f[2] != "1" {
+			return nil
+		}
+		if g < 0 || g >= ds.Dims.Genes || t < 0 || t >= ds.Dims.GOTerms {
+			return fmt.Errorf("GO cell (%d,%d) out of bounds", g, t)
+		}
+		ds.GO[g*ds.Dims.GOTerms+t] = 1
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func readCSVFile(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return csv.NewReader(bufio.NewReaderSize(f, 1<<20)).ReadAll()
+}
+
+// readTripleFile streams a large comma-separated triple file line by line
+// (avoiding encoding/csv's per-record allocations on multi-million-row
+// files), skipping the header.
+func readTripleFile(path string, fn func(fields []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	lineNum := 0
+	for {
+		line, err := r.ReadString('\n')
+		if len(line) > 0 {
+			lineNum++
+			line = strings.TrimRight(line, "\n")
+			if lineNum > 1 && line != "" { // skip header
+				fields := strings.Split(line, ",")
+				if len(fields) != 3 {
+					return fmt.Errorf("datagen: %s:%d: %d fields", filepath.Base(path), lineNum, len(fields))
+				}
+				if ferr := fn(fields); ferr != nil {
+					return fmt.Errorf("datagen: %s:%d: %w", filepath.Base(path), lineNum, ferr)
+				}
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

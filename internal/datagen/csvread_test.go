@@ -1,0 +1,77 @@
+package datagen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := MustGenerate(Config{Size: Small, Scale: 0.2, Seed: 17})
+	dir := t.TempDir()
+	if err := ds.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != ds.Dims || got.Seed != ds.Seed || got.Size != ds.Size {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Dims, ds.Dims)
+	}
+	for p := 0; p < ds.Dims.Patients; p++ {
+		for g := 0; g < ds.Dims.Genes; g++ {
+			if got.Expression.At(p, g) != ds.Expression.At(p, g) {
+				t.Fatalf("expression (%d,%d): %v vs %v", p, g, got.Expression.At(p, g), ds.Expression.At(p, g))
+			}
+		}
+	}
+	for i := range ds.Patients {
+		if got.Patients[i] != ds.Patients[i] {
+			t.Fatalf("patient %d: %+v vs %+v", i, got.Patients[i], ds.Patients[i])
+		}
+	}
+	for i := range ds.Genes {
+		if got.Genes[i] != ds.Genes[i] {
+			t.Fatalf("gene %d mismatch", i)
+		}
+	}
+	for i := range ds.GO {
+		if got.GO[i] != ds.GO[i] {
+			t.Fatal("GO mismatch")
+		}
+	}
+}
+
+func TestReadCSVDirMissing(t *testing.T) {
+	if _, err := ReadCSVDir(t.TempDir()); err == nil {
+		t.Fatal("expected error for empty dir")
+	}
+}
+
+func TestReadCSVDirCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.csv"), []byte("just,one,row\n"), 0o644)
+	if _, err := ReadCSVDir(dir); err == nil {
+		t.Fatal("expected error for malformed manifest")
+	}
+}
+
+func TestReadCSVDirBadCell(t *testing.T) {
+	ds := MustGenerate(Config{Size: Small, Scale: 0.05, Seed: 1})
+	dir := t.TempDir()
+	if err := ds.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the microarray with an out-of-bounds gene id.
+	path := filepath.Join(dir, "microarray.csv")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("99999,0,1.5\n")
+	f.Close()
+	if _, err := ReadCSVDir(dir); err == nil {
+		t.Fatal("expected bounds error")
+	}
+}

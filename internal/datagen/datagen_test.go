@@ -1,0 +1,355 @@
+package datagen
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/genbase/genbase/internal/stats"
+)
+
+func tinyConfig(seed uint64) Config {
+	return Config{Size: Small, Scale: 0.2, Seed: seed} // 50 patients × 50 genes × 20 terms
+}
+
+func TestPresetDims(t *testing.T) {
+	d, err := PresetDims(Large, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Patients != 2000 || d.Genes != 1500 || d.GOTerms != 400 {
+		t.Fatalf("large dims %+v", d)
+	}
+	// Aspect ratios must match the paper (patients/genes = 40/30 for large).
+	if math.Abs(float64(d.Patients)/float64(d.Genes)-40.0/30.0) > 1e-9 {
+		t.Fatal("large aspect ratio drifted from the paper")
+	}
+}
+
+func TestPresetDimsUnknownSize(t *testing.T) {
+	if _, err := PresetDims(Size("huge"), 1); err == nil {
+		t.Fatal("expected error for unknown size")
+	}
+}
+
+func TestPresetDimsScaleTooSmall(t *testing.T) {
+	if _, err := PresetDims(Small, 0.001); err == nil {
+		t.Fatal("expected error for vanishing scale")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	ds := MustGenerate(tinyConfig(1))
+	if ds.Expression.Rows != ds.Dims.Patients || ds.Expression.Cols != ds.Dims.Genes {
+		t.Fatalf("expression shape %dx%d", ds.Expression.Rows, ds.Expression.Cols)
+	}
+	if len(ds.Patients) != ds.Dims.Patients || len(ds.Genes) != ds.Dims.Genes {
+		t.Fatal("metadata lengths wrong")
+	}
+	if len(ds.GO) != ds.Dims.Genes*ds.Dims.GOTerms {
+		t.Fatal("GO length wrong")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(tinyConfig(42))
+	b := MustGenerate(tinyConfig(42))
+	if a.Expression.At(3, 7) != b.Expression.At(3, 7) {
+		t.Fatal("expression not deterministic")
+	}
+	if a.Patients[5] != b.Patients[5] || a.Genes[9] != b.Genes[9] {
+		t.Fatal("metadata not deterministic")
+	}
+	for i := range a.GO {
+		if a.GO[i] != b.GO[i] {
+			t.Fatal("GO not deterministic")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(tinyConfig(1))
+	b := MustGenerate(tinyConfig(2))
+	if a.Expression.At(0, 0) == b.Expression.At(0, 0) && a.Expression.At(1, 1) == b.Expression.At(1, 1) {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestPatientFieldRanges(t *testing.T) {
+	ds := MustGenerate(tinyConfig(7))
+	sawM, sawF := false, false
+	for _, p := range ds.Patients {
+		if p.Age < 0 || p.Age >= 100 {
+			t.Fatalf("age %d out of range", p.Age)
+		}
+		if p.DiseaseID < 1 || p.DiseaseID > NumDiseases {
+			t.Fatalf("disease %d out of range", p.DiseaseID)
+		}
+		switch p.Gender {
+		case 'M':
+			sawM = true
+		case 'F':
+			sawF = true
+		default:
+			t.Fatalf("gender %q", p.Gender)
+		}
+	}
+	if !sawM || !sawF {
+		t.Fatal("expected both genders in 50 patients")
+	}
+}
+
+func TestGeneFieldRanges(t *testing.T) {
+	ds := MustGenerate(tinyConfig(8))
+	prevPos := int32(-1)
+	for _, g := range ds.Genes {
+		if g.Function < 0 || g.Function >= FunctionRange {
+			t.Fatalf("function %d out of range", g.Function)
+		}
+		if g.Target < 0 || int(g.Target) >= ds.Dims.Genes {
+			t.Fatalf("target %d out of range", g.Target)
+		}
+		if g.Position <= prevPos && g.ID > 0 {
+			t.Fatal("positions must increase along the chromosome")
+		}
+		prevPos = g.Position
+		if g.Length < 100 {
+			t.Fatalf("length %d too small", g.Length)
+		}
+	}
+}
+
+// The regression signal must be recoverable: a least-squares fit on the
+// causal genes should explain most of the drug-response variance.
+func TestDrugResponseSignal(t *testing.T) {
+	ds := MustGenerate(tinyConfig(3))
+	resp := make([]float64, ds.Dims.Patients)
+	for i, p := range ds.Patients {
+		resp[i] = p.DrugResponse
+	}
+	// Correlate response with causal gene 0's expression — weights are random
+	// so test total signal instead: variance of response should exceed the
+	// noise-only level (0.5² = 0.25) by a wide margin.
+	v := 0.0
+	m := 0.0
+	for _, r := range resp {
+		m += r
+	}
+	m /= float64(len(resp))
+	for _, r := range resp {
+		v += (r - m) * (r - m)
+	}
+	v /= float64(len(resp) - 1)
+	if v < 1.0 {
+		t.Fatalf("drug response variance %v too small — no signal planted", v)
+	}
+}
+
+// Enriched GO terms must actually rank high: the Wilcoxon z of an enriched
+// term on mean expression should exceed that of typical background terms.
+func TestEnrichedTermsCarrySignal(t *testing.T) {
+	ds := MustGenerate(Config{Size: Small, Scale: 0.5, Seed: 5}) // 125×125×50
+	g, tn := ds.Dims.Genes, ds.Dims.GOTerms
+	means := make([]float64, g)
+	for i := 0; i < ds.Dims.Patients; i++ {
+		for j, v := range ds.Expression.Row(i) {
+			means[j] += v
+		}
+	}
+	zOf := func(term int) float64 {
+		var in, out []float64
+		for j := 0; j < g; j++ {
+			if ds.GOAt(j, term) == 1 {
+				in = append(in, means[j])
+			} else {
+				out = append(out, means[j])
+			}
+		}
+		res, err := stats.WilcoxonRankSum(in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Z
+	}
+	enriched := map[int]bool{}
+	for _, term := range ds.EnrichedTerms {
+		enriched[term] = true
+	}
+	if len(enriched) == 0 {
+		t.Fatal("no enriched terms planted")
+	}
+	bestEnriched := math.Inf(-1)
+	for term := range enriched {
+		if z := zOf(term); z > bestEnriched {
+			bestEnriched = z
+		}
+	}
+	background := 0.0
+	count := 0
+	for term := 0; term < tn; term++ {
+		if !enriched[term] {
+			background += math.Abs(zOf(term))
+			count++
+		}
+	}
+	background /= float64(count)
+	if bestEnriched < 3 {
+		t.Fatalf("best enriched z=%v, want strong signal", bestEnriched)
+	}
+	if bestEnriched < 2*background {
+		t.Fatalf("enriched z=%v not separated from background %v", bestEnriched, background)
+	}
+}
+
+func TestGOTermsBalanced(t *testing.T) {
+	ds := MustGenerate(tinyConfig(9))
+	g, tn := ds.Dims.Genes, ds.Dims.GOTerms
+	for term := 0; term < tn; term++ {
+		members := 0
+		for j := 0; j < g; j++ {
+			members += int(ds.GOAt(j, term))
+		}
+		if members < 2 || g-members < 2 {
+			t.Fatalf("term %d unbalanced: %d members of %d", term, members, g)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds := MustGenerate(tinyConfig(11))
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != ds.Dims || got.Seed != ds.Seed || got.Size != ds.Size {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Dims, ds.Dims)
+	}
+	for i := 0; i < ds.Dims.Patients; i++ {
+		for j := 0; j < ds.Dims.Genes; j++ {
+			if got.Expression.At(i, j) != ds.Expression.At(i, j) {
+				t.Fatalf("expression mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := range ds.Patients {
+		if got.Patients[i] != ds.Patients[i] {
+			t.Fatalf("patient %d mismatch", i)
+		}
+	}
+	for i := range ds.Genes {
+		if got.Genes[i] != ds.Genes[i] {
+			t.Fatalf("gene %d mismatch", i)
+		}
+	}
+	for i := range ds.GO {
+		if got.GO[i] != ds.GO[i] {
+			t.Fatalf("GO %d mismatch", i)
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	ds := MustGenerate(Config{Size: Small, Scale: 0.05, Seed: 13}) // minimal
+	dir := t.TempDir()
+	if err := ds.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"manifest.csv", "microarray.csv", "patients.csv", "genes.csv", "go.csv"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int(seed%50) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	rng := NewRNG(99)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestRNGStreamsDecorrelated(t *testing.T) {
+	root := NewRNG(1)
+	a := root.DeriveStream(1)
+	b := root.DeriveStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("derived streams overlap")
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	rng := NewRNG(5)
+	out := pickDistinct(rng, 10, 4)
+	if len(out) != 4 {
+		t.Fatalf("len=%d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatal("must be ascending distinct")
+		}
+	}
+	if len(pickDistinct(rng, 3, 10)) != 3 {
+		t.Fatal("k>n must clamp")
+	}
+}
+
+func TestBytesEstimatePositive(t *testing.T) {
+	ds := MustGenerate(tinyConfig(21))
+	want := int64(ds.Dims.Patients) * int64(ds.Dims.Genes) * 8
+	if ds.BytesEstimate() < want {
+		t.Fatalf("estimate %d below matrix size %d", ds.BytesEstimate(), want)
+	}
+}

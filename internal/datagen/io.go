@@ -1,0 +1,262 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+// WriteCSVDir writes the four tables in the paper's relational form into dir:
+// microarray.csv (geneid,patientid,expr), patients.csv, genes.csv, go.csv
+// (only memberships with value 1, as sparse triples), plus manifest.csv with
+// the dimensions and seed.
+func (d *Dataset) WriteCSVDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "manifest.csv"), [][]string{
+		{"size", "patients", "genes", "goterms", "seed"},
+		{string(d.Size), strconv.Itoa(d.Dims.Patients), strconv.Itoa(d.Dims.Genes),
+			strconv.Itoa(d.Dims.GOTerms), strconv.FormatUint(d.Seed, 10)},
+	}); err != nil {
+		return err
+	}
+
+	mf, err := os.Create(filepath.Join(dir, "microarray.csv"))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(mf, 1<<20)
+	fmt.Fprintln(bw, "geneid,patientid,expressionvalue")
+	for p := 0; p < d.Dims.Patients; p++ {
+		row := d.Expression.Row(p)
+		for g, v := range row {
+			fmt.Fprintf(bw, "%d,%d,%s\n", g, p, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+
+	pt := [][]string{{"patientid", "age", "gender", "zipcode", "diseaseid", "drugresponse"}}
+	for _, p := range d.Patients {
+		pt = append(pt, []string{
+			strconv.Itoa(int(p.ID)), strconv.Itoa(int(p.Age)), string(p.Gender),
+			strconv.Itoa(int(p.Zipcode)), strconv.Itoa(int(p.DiseaseID)),
+			strconv.FormatFloat(p.DrugResponse, 'g', -1, 64),
+		})
+	}
+	if err := writeCSV(filepath.Join(dir, "patients.csv"), pt); err != nil {
+		return err
+	}
+
+	gt := [][]string{{"geneid", "target", "position", "length", "function"}}
+	for _, g := range d.Genes {
+		gt = append(gt, []string{
+			strconv.Itoa(int(g.ID)), strconv.Itoa(int(g.Target)), strconv.Itoa(int(g.Position)),
+			strconv.Itoa(int(g.Length)), strconv.Itoa(int(g.Function)),
+		})
+	}
+	if err := writeCSV(filepath.Join(dir, "genes.csv"), gt); err != nil {
+		return err
+	}
+
+	gof, err := os.Create(filepath.Join(dir, "go.csv"))
+	if err != nil {
+		return err
+	}
+	gw := bufio.NewWriterSize(gof, 1<<20)
+	fmt.Fprintln(gw, "geneid,goid,belongs")
+	for g := 0; g < d.Dims.Genes; g++ {
+		for t := 0; t < d.Dims.GOTerms; t++ {
+			if d.GOAt(g, t) == 1 {
+				fmt.Fprintf(gw, "%d,%d,1\n", g, t)
+			}
+		}
+	}
+	if err := gw.Flush(); err != nil {
+		gof.Close()
+		return err
+	}
+	return gof.Close()
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(bufio.NewWriterSize(f, 1<<20))
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func mathFloat64bits(v float64) uint64     { return math.Float64bits(v) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// binaryMagic identifies the GenBase binary dataset format.
+const binaryMagic = uint32(0x47424431) // "GBD1"
+
+// WriteBinary serializes the dataset in a compact binary format (much faster
+// to load than CSV; used by the benchmark harness to cache generated data).
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) { var b [4]byte; le.PutUint32(b[:], v); bw.Write(b[:]) }
+	writeU64 := func(v uint64) { var b [8]byte; le.PutUint64(b[:], v); bw.Write(b[:]) }
+	writeF64 := func(v float64) { var b [8]byte; le.PutUint64(b[:], mathFloat64bits(v)); bw.Write(b[:]) }
+
+	writeU32(binaryMagic)
+	writeU32(uint32(len(d.Size)))
+	bw.WriteString(string(d.Size))
+	writeU64(d.Seed)
+	writeU32(uint32(d.Dims.Patients))
+	writeU32(uint32(d.Dims.Genes))
+	writeU32(uint32(d.Dims.GOTerms))
+
+	for p := 0; p < d.Dims.Patients; p++ {
+		for _, v := range d.Expression.Row(p) {
+			writeF64(v)
+		}
+	}
+	for _, p := range d.Patients {
+		writeU32(uint32(p.ID))
+		writeU32(uint32(p.Age))
+		bw.WriteByte(p.Gender)
+		writeU32(uint32(p.Zipcode))
+		writeU32(uint32(p.DiseaseID))
+		writeF64(p.DrugResponse)
+	}
+	for _, g := range d.Genes {
+		writeU32(uint32(g.ID))
+		writeU32(uint32(g.Target))
+		writeU32(uint32(g.Position))
+		writeU32(uint32(g.Length))
+		writeU32(uint32(g.Function))
+	}
+	bw.Write(d.GO)
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	le := binary.LittleEndian
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(b[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(b[:]), nil
+	}
+
+	magic, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("datagen: bad magic %#x", magic)
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	seed, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	pN, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	gN, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	tN, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Dataset{
+		Size: Size(name),
+		Dims: Dims{Patients: int(pN), Genes: int(gN), GOTerms: int(tN)},
+		Seed: seed,
+	}
+	d.Expression = linalg.NewMatrix(int(pN), int(gN))
+	buf := make([]byte, 8*int(gN))
+	for p := 0; p < int(pN); p++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		row := d.Expression.Row(p)
+		for j := range row {
+			row[j] = mathFloat64frombits(le.Uint64(buf[8*j:]))
+		}
+	}
+	d.Patients = make([]Patient, pN)
+	for i := range d.Patients {
+		var rec [25]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, err
+		}
+		d.Patients[i] = Patient{
+			ID:           int32(le.Uint32(rec[0:])),
+			Age:          int32(le.Uint32(rec[4:])),
+			Gender:       rec[8],
+			Zipcode:      int32(le.Uint32(rec[9:])),
+			DiseaseID:    int32(le.Uint32(rec[13:])),
+			DrugResponse: mathFloat64frombits(le.Uint64(rec[17:])),
+		}
+	}
+	d.Genes = make([]Gene, gN)
+	for i := range d.Genes {
+		var rec [20]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, err
+		}
+		d.Genes[i] = Gene{
+			ID:       int32(le.Uint32(rec[0:])),
+			Target:   int32(le.Uint32(rec[4:])),
+			Position: int32(le.Uint32(rec[8:])),
+			Length:   int32(le.Uint32(rec[12:])),
+			Function: int32(le.Uint32(rec[16:])),
+		}
+	}
+	d.GO = make([]uint8, int(gN)*int(tN))
+	if _, err := io.ReadFull(br, d.GO); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

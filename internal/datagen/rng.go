@@ -1,0 +1,73 @@
+package datagen
+
+import "math"
+
+// RNG is a deterministic SplitMix64 generator with normal-variate support.
+// The data generator must be reproducible across machines and Go versions,
+// so it does not depend on math/rand.
+type RNG struct {
+	state uint64
+	// Box–Muller cache.
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG seeds a generator. Different streams should use different seeds;
+// DeriveStream gives convenient decorrelated sub-streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// DeriveStream returns a new generator whose sequence is decorrelated from
+// the parent, keyed by label.
+func (r *RNG) DeriveStream(label uint64) *RNG {
+	return &RNG{state: r.state ^ (label+0x9e3779b97f4a7c15)*0xff51afd7ed558ccd}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("datagen: Intn requires positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u1 float64
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u1))
+	r.spare = mag * math.Sin(2*math.Pi*u2)
+	r.hasSpare = true
+	return mag * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a deterministic random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

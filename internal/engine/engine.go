@@ -1,0 +1,207 @@
+// Package engine defines the contract every GenBase system-under-test
+// implements: the five benchmark queries (paper §3.2), their parameters, the
+// engine-agnostic answer types used for cross-engine validation, and the
+// data-management vs analytics timing split the paper reports (Figures 2, 4).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/genbase/genbase/internal/datagen"
+)
+
+// QueryID names a benchmark query.
+type QueryID int
+
+// The five GenBase queries.
+const (
+	Q1Regression QueryID = iota + 1
+	Q2Covariance
+	Q3Biclustering
+	Q4SVD
+	Q5Statistics
+)
+
+func (q QueryID) String() string {
+	switch q {
+	case Q1Regression:
+		return "regression"
+	case Q2Covariance:
+		return "covariance"
+	case Q3Biclustering:
+		return "biclustering"
+	case Q4SVD:
+		return "svd"
+	case Q5Statistics:
+		return "statistics"
+	default:
+		return fmt.Sprintf("query(%d)", int(q))
+	}
+}
+
+// AllQueries lists the queries in paper order.
+func AllQueries() []QueryID {
+	return []QueryID{Q1Regression, Q2Covariance, Q3Biclustering, Q4SVD, Q5Statistics}
+}
+
+// Params carries the per-query predicates from §3.2. DefaultParams matches
+// the paper's examples.
+type Params struct {
+	// Q1 and Q4: select genes with Function < FunctionThreshold.
+	FunctionThreshold int64
+	// Q2: select patients with DiseaseID.
+	DiseaseID int64
+	// Q2: keep the top fraction of gene pairs by |covariance|.
+	CovarianceTopFrac float64
+	// Q3: select patients with Gender and Age < MaxAge.
+	Gender byte
+	MaxAge int64
+	// Q3: biclustering controls.
+	MaxBiclusters int
+	// Q4: number of singular values (the paper's 50, scaled to 10 by default).
+	SVDK int
+	// Q5: fraction of patients sampled (paper example 0.25%; scaled up to
+	// 2.5% so the sample is non-empty at 1/20 data scale).
+	SampleFrac float64
+	// Seed drives the deterministic pieces (Lanczos start vector, bicluster
+	// masking).
+	Seed uint64
+}
+
+// DefaultParams returns the paper's example parameters adapted to our scale.
+func DefaultParams() Params {
+	return Params{
+		FunctionThreshold: 250, // "for example, function < 250"
+		DiseaseID:         5,   // "patients with some disease (e.g. cancer)"
+		CovarianceTopFrac: 0.10,
+		Gender:            'M', // "male patients less than 40 years old"
+		MaxAge:            40,
+		MaxBiclusters:     5,
+		SVDK:              10,
+		SampleFrac:        0.025,
+		Seed:              1,
+	}
+}
+
+// SamplePatientStep converts SampleFrac into the deterministic modulus used
+// by every engine for Q5: patients with id % step == 0 are sampled. A shared
+// rule keeps answers comparable across engines.
+func (p Params) SamplePatientStep() int {
+	if p.SampleFrac <= 0 || p.SampleFrac >= 1 {
+		return 1
+	}
+	step := int(1/p.SampleFrac + 0.5)
+	if step < 1 {
+		step = 1
+	}
+	return step
+}
+
+// Timing is the paper's cost breakdown. Transfer covers copy/reformat
+// between the DBMS and the external analytics package (the "glue" cost of
+// the +R configurations) or host↔coprocessor movement; the harness folds it
+// into data management when reproducing Figures 2 and 4.
+type Timing struct {
+	DataManagement time.Duration
+	Analytics      time.Duration
+	Transfer       time.Duration
+}
+
+// Total is end-to-end elapsed time.
+func (t Timing) Total() time.Duration { return t.DataManagement + t.Analytics + t.Transfer }
+
+// Add accumulates another timing.
+func (t *Timing) Add(o Timing) {
+	t.DataManagement += o.DataManagement
+	t.Analytics += o.Analytics
+	t.Transfer += o.Transfer
+}
+
+// Result is a completed query run.
+type Result struct {
+	Query  QueryID
+	Timing Timing
+	Answer any // one of the *Answer types below
+}
+
+// Engine is a system under test. Load ingests the neutral dataset into the
+// engine's own storage format (not timed as part of queries, matching the
+// paper's separation of load from query time). Engines are not safe for
+// concurrent queries.
+type Engine interface {
+	Name() string
+	Load(ds *datagen.Dataset) error
+	Supports(q QueryID) bool
+	Run(ctx context.Context, q QueryID, p Params) (*Result, error)
+	Close() error
+}
+
+// Sentinel failures. The harness renders both as the paper's "infinite"
+// results (horizontal cutoff lines in the charts).
+var (
+	// ErrOutOfMemory corresponds to "temporary space allocation failed".
+	ErrOutOfMemory = errors.New("engine: memory budget exceeded")
+	// ErrUnsupported marks a query the configuration cannot run (e.g.
+	// biclustering on Hadoop or Postgres+Madlib).
+	ErrUnsupported = errors.New("engine: query not supported by this configuration")
+)
+
+// StopWatch accumulates phase timings with explicit phase switches.
+type StopWatch struct {
+	timing Timing
+	start  time.Time
+	phase  int // 0 none, 1 dm, 2 analytics, 3 transfer
+}
+
+// StartDM begins (or switches to) the data-management phase.
+func (s *StopWatch) StartDM() { s.switchTo(1) }
+
+// StartAnalytics begins (or switches to) the analytics phase.
+func (s *StopWatch) StartAnalytics() { s.switchTo(2) }
+
+// StartTransfer begins (or switches to) the transfer/reformat phase.
+func (s *StopWatch) StartTransfer() { s.switchTo(3) }
+
+// Stop ends the current phase.
+func (s *StopWatch) Stop() { s.switchTo(0) }
+
+// Timing returns the accumulated phase durations.
+func (s *StopWatch) Timing() Timing {
+	s.switchTo(s.phase) // bank the in-flight slice
+	return s.timing
+}
+
+// AddExternal folds in time measured elsewhere (e.g. the virtual cluster's
+// simulated makespan).
+func (s *StopWatch) AddExternal(t Timing) { s.timing.Add(t) }
+
+func (s *StopWatch) switchTo(phase int) {
+	now := time.Now()
+	if s.phase != 0 {
+		d := now.Sub(s.start)
+		switch s.phase {
+		case 1:
+			s.timing.DataManagement += d
+		case 2:
+			s.timing.Analytics += d
+		case 3:
+			s.timing.Transfer += d
+		}
+	}
+	s.phase = phase
+	s.start = now
+}
+
+// CheckCtx returns the context error, if any. Engines call it inside long
+// loops so the harness timeout (the paper's 2-hour cutoff) is honored.
+func CheckCtx(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

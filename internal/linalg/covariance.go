@@ -1,0 +1,46 @@
+package linalg
+
+// ColumnMeans returns the mean of each column of a.
+func ColumnMeans(a *Matrix) []float64 {
+	means := make([]float64, a.Cols)
+	if a.Rows == 0 {
+		return means
+	}
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Row(i)
+		for j, v := range ri {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(a.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// CenterColumns returns a copy of a with each column shifted to zero mean.
+func CenterColumns(a *Matrix) *Matrix {
+	means := ColumnMeans(a)
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ra, ro := a.Row(i), out.Row(i)
+		for j, v := range ra {
+			ro[j] = v - means[j]
+		}
+	}
+	return out
+}
+
+// Covariance returns the unbiased sample covariance matrix of the columns of
+// a: C = XᵀX/(n−1) where X is column-centered a. This is Q2's analytics
+// kernel. With fewer than two rows the result is all zeros.
+func Covariance(a *Matrix) *Matrix {
+	if a.Rows < 2 {
+		return NewMatrix(a.Cols, a.Cols)
+	}
+	x := CenterColumns(a)
+	c := MulATA(x)
+	c.Scale(1 / float64(a.Rows-1))
+	return c
+}

@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// JacobiEig computes all eigenvalues and eigenvectors of a dense symmetric
+// matrix using the cyclic Jacobi rotation method. It is O(n³) per sweep and
+// only suitable for small matrices; the benchmark uses it as the dense
+// reference oracle that validates the Lanczos solver, and the "simulated in
+// SQL" Madlib paths use it on the tiny projected systems they produce.
+//
+// Eigenvalues are returned in descending order; column j of the vector matrix
+// pairs with value j.
+func JacobiEig(a *Matrix) ([]float64, *Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, errors.New("linalg: JacobiEig requires a square matrix")
+	}
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-24*(1+m.FrobeniusNorm()) {
+			return extractEig(m, v)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation G(p,q,θ) on both sides.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	return nil, nil, errors.New("linalg: Jacobi failed to converge")
+}
+
+func extractEig(m, v *Matrix) ([]float64, *Matrix, error) {
+	n := m.Rows
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = m.At(i, i)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[idx[j]] > vals[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	outVals := make([]float64, n)
+	outVecs := NewMatrix(n, n)
+	for j, k := range idx {
+		outVals[j] = vals[k]
+		for i := 0; i < n; i++ {
+			outVecs.Set(i, j, v.At(i, k))
+		}
+	}
+	return outVals, outVecs, nil
+}

@@ -1,0 +1,255 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearOperator abstracts "multiply a vector by a symmetric matrix". The
+// engines provide different implementations: a dense in-memory operator
+// (vanilla R), a chunked array operator (SciDB), a relational join+aggregate
+// operator (Postgres+Madlib's simulated-SQL path), an MR job (Mahout), and a
+// distributed all-reduce operator (pbdR). Lanczos itself is shared.
+type LinearOperator interface {
+	// Dim is the order of the (square, symmetric) operator.
+	Dim() int
+	// Apply computes y = A·x. The returned slice must not alias x.
+	Apply(x []float64) []float64
+}
+
+// DenseOperator wraps a symmetric dense matrix as a LinearOperator.
+type DenseOperator struct{ M *Matrix }
+
+// Dim implements LinearOperator.
+func (d DenseOperator) Dim() int { return d.M.Rows }
+
+// Apply implements LinearOperator.
+func (d DenseOperator) Apply(x []float64) []float64 { return MatVec(d.M, x) }
+
+// ATAOperator applies x ↦ Aᵀ(A·x) without forming AᵀA. This is the operator
+// Q4 uses: the Lanczos iteration on AᵀA yields A's singular values.
+type ATAOperator struct{ A *Matrix }
+
+// Dim implements LinearOperator.
+func (o ATAOperator) Dim() int { return o.A.Cols }
+
+// Apply implements LinearOperator.
+func (o ATAOperator) Apply(x []float64) []float64 { return MatTVec(o.A, MatVec(o.A, x)) }
+
+// LanczosOptions controls the iteration.
+type LanczosOptions struct {
+	// MaxIter caps the Krylov subspace dimension. 0 means min(2k+20, n).
+	MaxIter int
+	// Tol is the convergence tolerance on Ritz-value movement. 0 means 1e-10.
+	Tol float64
+	// Reorthogonalize enables full reorthogonalization against all previous
+	// Lanczos vectors (needed for accuracy; the ablation bench turns it off).
+	Reorthogonalize bool
+	// Seed selects the deterministic start vector.
+	Seed uint64
+}
+
+// EigResult holds the top-k eigenpairs, eigenvalues in descending order.
+type EigResult struct {
+	Values     []float64
+	Vectors    *Matrix // n×k; column j pairs with Values[j]. Nil if not requested.
+	Iterations int
+}
+
+// Lanczos finds the k largest eigenvalues (and eigenvectors) of a symmetric
+// positive semi-definite operator, per the paper's Q4 ("the Lanczos
+// algorithm, ... a power method that can iteratively find the largest
+// eigenvalues of symmetric positive semidefinite matrices").
+func Lanczos(op LinearOperator, k int, opts LanczosOptions) (*EigResult, error) {
+	n := op.Dim()
+	if n == 0 {
+		return &EigResult{Values: nil, Vectors: NewMatrix(0, 0)}, nil
+	}
+	if k <= 0 {
+		return nil, errors.New("linalg: k must be positive")
+	}
+	if k > n {
+		k = n
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2*k + 20
+	}
+	if maxIter > n {
+		maxIter = n
+	}
+	if maxIter < k {
+		maxIter = k
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+
+	// Deterministic pseudo-random start vector.
+	rng := splitMix64(opts.Seed ^ 0x9e3779b97f4a7c15)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng()*2 - 1
+	}
+	nv := Norm2(v)
+	if nv == 0 {
+		v[0] = 1
+		nv = 1
+	}
+	ScaleVec(1/nv, v)
+
+	basis := make([][]float64, 0, maxIter)
+	var alpha, beta []float64
+	var prevRitz []float64
+
+	w := v
+	var vPrev []float64
+	betaPrev := 0.0
+	iters := 0
+	for j := 0; j < maxIter; j++ {
+		iters = j + 1
+		basis = append(basis, w)
+		av := op.Apply(w)
+		if vPrev != nil {
+			Axpy(-betaPrev, vPrev, av)
+		}
+		a := Dot(w, av)
+		alpha = append(alpha, a)
+		Axpy(-a, w, av)
+		if opts.Reorthogonalize {
+			// Twice is enough (Kahan): remove components along every previous
+			// Lanczos vector to defeat the classic loss of orthogonality.
+			for pass := 0; pass < 2; pass++ {
+				for _, u := range basis {
+					Axpy(-Dot(u, av), u, av)
+				}
+			}
+		}
+		b := Norm2(av)
+		// Convergence check on the current Ritz values.
+		if len(alpha) >= k {
+			ritz, _, err := SymTriEig(alpha, beta, false)
+			if err != nil {
+				return nil, err
+			}
+			topK := topDescending(ritz, k)
+			if prevRitz != nil && maxMove(topK, prevRitz) < tol*(1+math.Abs(topK[0])) {
+				break
+			}
+			prevRitz = topK
+		}
+		if b < 1e-13 {
+			// Invariant subspace found (happy breakdown).
+			break
+		}
+		if j+1 < maxIter {
+			beta = append(beta, b)
+			ScaleVec(1/b, av)
+			vPrev = w
+			betaPrev = b
+			w = av
+		}
+	}
+
+	m := len(alpha)
+	vals, vecsT, err := SymTriEig(alpha, beta[:m-1], true)
+	if err != nil {
+		return nil, err
+	}
+	// Take the k largest (SymTriEig returns ascending).
+	if k > m {
+		k = m
+	}
+	res := &EigResult{Values: make([]float64, k), Iterations: iters}
+	res.Vectors = NewMatrix(n, k)
+	for j := 0; j < k; j++ {
+		col := m - 1 - j
+		res.Values[j] = vals[col]
+		// Ritz vector: V_basis · y_col.
+		for t := 0; t < m; t++ {
+			c := vecsT.At(t, col)
+			if c == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				res.Vectors.Data[i*res.Vectors.Stride+j] += c * basis[t][i]
+			}
+		}
+	}
+	return res, nil
+}
+
+// SVDResult holds the top-k singular triplets of a rectangular matrix.
+type SVDResult struct {
+	SingularValues []float64
+	// V holds right-singular vectors (cols of A's row space), n×k.
+	V *Matrix
+	// U holds left-singular vectors, m×k (computed as A·v/σ).
+	U *Matrix
+}
+
+// TopKSVD computes the k largest singular values/vectors of A by running
+// Lanczos on the implicit operator AᵀA (Q4's workflow).
+func TopKSVD(a *Matrix, k int, opts LanczosOptions) (*SVDResult, error) {
+	if k > a.Cols {
+		k = a.Cols
+	}
+	eig, err := Lanczos(ATAOperator{A: a}, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &SVDResult{
+		SingularValues: make([]float64, len(eig.Values)),
+		V:              eig.Vectors,
+		U:              NewMatrix(a.Rows, len(eig.Values)),
+	}
+	for j, lam := range eig.Values {
+		if lam < 0 {
+			lam = 0 // AᵀA is PSD; tiny negatives are roundoff
+		}
+		sigma := math.Sqrt(lam)
+		res.SingularValues[j] = sigma
+		if sigma > 1e-13 {
+			u := MatVec(a, eig.Vectors.Col(j))
+			ScaleVec(1/sigma, u)
+			for i := 0; i < a.Rows; i++ {
+				res.U.Set(i, j, u[i])
+			}
+		}
+	}
+	return res, nil
+}
+
+// topDescending returns the k largest entries of vals in descending order.
+func topDescending(vals []float64, k int) []float64 {
+	out := make([]float64, 0, k)
+	for i := len(vals) - 1; i >= 0 && len(out) < k; i-- {
+		out = append(out, vals[i])
+	}
+	return out
+}
+
+func maxMove(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	max := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// splitMix64 returns a deterministic uniform-[0,1) generator.
+func splitMix64(seed uint64) func() float64 {
+	s := seed
+	return func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+}

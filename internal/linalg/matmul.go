@@ -1,0 +1,116 @@
+package linalg
+
+// matmul implements the GEMM-family kernels. MulBlocked is the workhorse used
+// by the engines' "native BLAS" paths; MulNaive exists as the ablation
+// baseline (DESIGN.md §8) and as a reference oracle in tests.
+
+// blockSize is tuned for a ~32 KiB L1 cache: three 64×64 float64 tiles
+// (96 KiB) sit comfortably in L2 while the inner tile streams through L1.
+const blockSize = 64
+
+// MulNaive computes C = A·B with the textbook triple loop (ikj order so the
+// inner loop is stride-1). Kept for ablation benchmarks and as a test oracle.
+func MulNaive(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("linalg: mul dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ci := c.Row(i)
+		ai := a.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := ai[k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+	return c
+}
+
+// MulBlocked computes C = A·B using cache blocking. This is the default GEMM.
+func MulBlocked(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("linalg: mul dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	n, m, p := a.Rows, a.Cols, b.Cols
+	for kk := 0; kk < m; kk += blockSize {
+		kmax := min(kk+blockSize, m)
+		for ii := 0; ii < n; ii += blockSize {
+			imax := min(ii+blockSize, n)
+			for i := ii; i < imax; i++ {
+				ai := a.Row(i)
+				ci := c.Row(i)
+				for k := kk; k < kmax; k++ {
+					aik := ai[k]
+					if aik == 0 {
+						continue
+					}
+					bk := b.Row(k)
+					for j := 0; j < p; j++ {
+						ci[j] += aik * bk[j]
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Mul is the default matrix multiply (cache-blocked).
+func Mul(a, b *Matrix) *Matrix { return MulBlocked(a, b) }
+
+// MulATA computes AᵀA (a.Cols × a.Cols), exploiting symmetry: only the upper
+// triangle is computed and then mirrored. This is the kernel behind both
+// covariance (Q2) and the Lanczos operator (Q4).
+func MulATA(a *Matrix) *Matrix {
+	n := a.Cols
+	c := NewMatrix(n, n)
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Row(i)
+		for j := 0; j < n; j++ {
+			v := ri[j]
+			if v == 0 {
+				continue
+			}
+			cj := c.Row(j)
+			for k := j; k < n; k++ {
+				cj[k] += v * ri[k]
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			c.Set(k, j, c.At(j, k))
+		}
+	}
+	return c
+}
+
+// MulABT computes A·Bᵀ. Both inner dimensions must match (a.Cols == b.Cols).
+func MulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("linalg: mulABT dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		ci := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			ci[j] = Dot(ai, b.Row(j))
+		}
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

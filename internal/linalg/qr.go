@@ -1,0 +1,193 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q·R of an m×n matrix with
+// m ≥ n. The factors are stored compactly: R in the upper triangle of qr and
+// the Householder vectors below the diagonal, with scaling factors in tau.
+type QR struct {
+	qr  *Matrix
+	tau []float64
+}
+
+// ErrRankDeficient is returned when a triangular solve encounters a zero (or
+// numerically negligible) pivot.
+var ErrRankDeficient = errors.New("linalg: matrix is rank deficient")
+
+// NewQR factors A (m×n, m ≥ n) with Householder reflections. A is not modified.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, errors.New("linalg: QR requires rows >= cols")
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below (and including) the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		// Form the Householder vector v (stored in place, scaled so that the
+		// reflector is I − v·vᵀ/v_k).
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = -norm // diagonal of R
+		// Apply the reflector to the remaining columns.
+		vkk := qr.At(k, k)
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / vkk
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau}, nil
+}
+
+// R returns the upper-triangular factor (n×n).
+func (f *QR) R() *Matrix {
+	n := f.qr.Cols
+	r := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if i == j {
+				r.Set(i, j, f.tau[i])
+			} else {
+				r.Set(i, j, f.qr.At(i, j))
+			}
+		}
+	}
+	return r
+}
+
+// Q returns the thin orthonormal factor (m×n).
+func (f *QR) Q() *Matrix {
+	m, n := f.qr.Rows, f.qr.Cols
+	q := NewMatrix(m, n)
+	for k := n - 1; k >= 0; k-- {
+		q.Set(k, k, 1)
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		for j := k; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += f.qr.At(i, k) * q.At(i, j)
+			}
+			s = -s / f.qr.At(k, k)
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)+s*f.qr.At(i, k))
+			}
+		}
+	}
+	return q
+}
+
+// QTVec applies Qᵀ to a vector of length m, returning the first n entries
+// (enough for a least-squares solve) followed by the residual part.
+func (f *QR) QTVec(b []float64) []float64 {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		panic("linalg: QTVec length mismatch")
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	return y
+}
+
+// Solve returns the least-squares solution x minimizing ‖Ax − b‖₂.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	n := f.qr.Cols
+	y := f.QTVec(b)
+	x := make([]float64, n)
+	copy(x, y[:n])
+	// Back-substitute R x = y.
+	for k := n - 1; k >= 0; k-- {
+		rkk := f.tau[k]
+		if math.Abs(rkk) < 1e-12 {
+			return nil, ErrRankDeficient
+		}
+		for j := k + 1; j < n; j++ {
+			x[k] -= f.qr.At(k, j) * x[j]
+		}
+		x[k] /= rkk
+	}
+	return x, nil
+}
+
+// LeastSquaresResult is the output of a linear regression fit (Q1).
+type LeastSquaresResult struct {
+	Coefficients []float64 // including intercept if the caller added one
+	Residual     float64   // ‖Ax − b‖₂
+	RSquared     float64   // 1 − SS_res/SS_tot
+}
+
+// LeastSquares fits b ≈ A·x with Householder QR and reports fit quality.
+func LeastSquares(a *Matrix, b []float64) (*LeastSquaresResult, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	pred := MatVec(a, x)
+	ssRes := 0.0
+	for i, v := range b {
+		d := v - pred[i]
+		ssRes += d * d
+	}
+	mb := Mean(b)
+	ssTot := 0.0
+	for _, v := range b {
+		d := v - mb
+		ssTot += d * d
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &LeastSquaresResult{Coefficients: x, Residual: math.Sqrt(ssRes), RSquared: r2}, nil
+}
+
+// AddInterceptColumn returns [1 | A]: a copy of A with a leading column of ones.
+func AddInterceptColumn(a *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, a.Cols+1)
+	for i := 0; i < a.Rows; i++ {
+		ro := out.Row(i)
+		ro[0] = 1
+		copy(ro[1:], a.Row(i))
+	}
+	return out
+}

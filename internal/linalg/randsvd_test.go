@@ -1,0 +1,126 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomizedSVDMatchesExact(t *testing.T) {
+	a := randMatrix(60, 30, 2026)
+	exact, err := TopKSVD(a, 5, LanczosOptions{Reorthogonalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := RandomizedSVD(a, 5, RandSVDOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random matrix has a flat spectrum — the worst case for randomized
+	// range finding — so a couple of percent relative error is the expected
+	// regime with q=2 power iterations.
+	for i := range exact.SingularValues {
+		rel := math.Abs(approx.SingularValues[i]-exact.SingularValues[i]) / (1 + exact.SingularValues[0])
+		if rel > 2e-2 {
+			t.Fatalf("σ[%d]: approx %v vs exact %v", i, approx.SingularValues[i], exact.SingularValues[i])
+		}
+	}
+	// More power iterations must tighten the estimate.
+	better, err := RandomizedSVD(a, 5, RandSVDOptions{Seed: 1, PowerIters: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := math.Abs(approx.SingularValues[0] - exact.SingularValues[0])
+	tight := math.Abs(better.SingularValues[0] - exact.SingularValues[0])
+	if tight > worse {
+		t.Fatalf("q=6 error %v should not exceed q=2 error %v", tight, worse)
+	}
+}
+
+// On a matrix with rapidly decaying spectrum the approximation is
+// essentially exact.
+func TestRandomizedSVDLowRank(t *testing.T) {
+	// Build rank-3 A = U·diag(10,5,2)·Vᵀ plus tiny noise.
+	m, n, r := 40, 25, 3
+	u := randMatrix(m, r, 1)
+	v := randMatrix(n, r, 2)
+	sig := []float64{10, 5, 2}
+	a := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < r; k++ {
+				s += sig[k] * u.At(i, k) * v.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	got, err := RandomizedSVD(a, 3, RandSVDOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := TopKSVD(a, 3, LanczosOptions{Reorthogonalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(got.SingularValues[i]-exact.SingularValues[i]) > 1e-6*(1+exact.SingularValues[0]) {
+			t.Fatalf("σ[%d]: %v vs %v", i, got.SingularValues[i], exact.SingularValues[i])
+		}
+	}
+}
+
+// Property: singular triplets are consistent (A·v ≈ σ·u) and values descend.
+func TestRandomizedSVDTripletConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := randMatrix(int(seed%30)+10, int((seed>>8)%15)+6, seed)
+		k := 3
+		res, err := RandomizedSVD(a, k, RandSVDOptions{Seed: seed})
+		if err != nil {
+			return false
+		}
+		for j := 0; j < k; j++ {
+			if j > 0 && res.SingularValues[j] > res.SingularValues[j-1]+1e-9 {
+				return false
+			}
+			av := MatVec(a, res.V.Col(j))
+			for i := range av {
+				if math.Abs(av[i]-res.SingularValues[j]*res.U.At(i, j)) > 1e-5*(1+res.SingularValues[0]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedSVDDeterministic(t *testing.T) {
+	a := randMatrix(30, 20, 5)
+	x, _ := RandomizedSVD(a, 4, RandSVDOptions{Seed: 9})
+	y, _ := RandomizedSVD(a, 4, RandSVDOptions{Seed: 9})
+	for i := range x.SingularValues {
+		if x.SingularValues[i] != y.SingularValues[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRandomizedSVDRejectsBadK(t *testing.T) {
+	if _, err := RandomizedSVD(randMatrix(5, 5, 1), 0, RandSVDOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRandomizedSVDClampsK(t *testing.T) {
+	a := randMatrix(10, 4, 7)
+	res, err := RandomizedSVD(a, 10, RandSVDOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SingularValues) != 4 {
+		t.Fatalf("got %d values", len(res.SingularValues))
+	}
+}

@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// SymTriEig computes all eigenvalues (and, if wantVectors, eigenvectors) of a
+// symmetric tridiagonal matrix with diagonal d (length n) and sub-diagonal e
+// (length n−1), using the implicit QL method with Wilkinson shifts (the
+// classic tql2 routine). On success the eigenvalues are returned in ascending
+// order; column j of the returned matrix is the eigenvector for eigenvalue j.
+//
+// d and e are not modified.
+func SymTriEig(d, e []float64, wantVectors bool) ([]float64, *Matrix, error) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		return nil, nil, errors.New("linalg: sub-diagonal must have length n-1")
+	}
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	dd := make([]float64, n)
+	copy(dd, d)
+	ee := make([]float64, n)
+	copy(ee, e) // ee[n-1] stays 0 as workspace
+	var z *Matrix
+	if wantVectors {
+		z = Identity(n)
+	}
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find a small off-diagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-15*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= 50 {
+				return nil, nil, errors.New("linalg: tridiagonal QL failed to converge")
+			}
+			// Wilkinson shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				if z != nil {
+					for k := 0; k < n; k++ {
+						f := z.At(k, i+1)
+						z.Set(k, i+1, s*z.At(k, i)+c*f)
+						z.Set(k, i, c*z.At(k, i)-s*f)
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort eigenvalues ascending, permuting eigenvectors to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is small (Lanczos subspace)
+		for j := i; j > 0 && dd[idx[j]] < dd[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals := make([]float64, n)
+	for i, k := range idx {
+		vals[i] = dd[k]
+	}
+	var vecs *Matrix
+	if z != nil {
+		vecs = NewMatrix(n, n)
+		for j, k := range idx {
+			for i := 0; i < n; i++ {
+				vecs.Set(i, j, z.At(i, k))
+			}
+		}
+	}
+	return vals, vecs, nil
+}

@@ -1,0 +1,103 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y (which must have equal length).
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow.
+func Norm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// ScaleVec multiplies x by s in place.
+func ScaleVec(s float64, x []float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the unbiased sample variance of x (0 for n < 2).
+func Variance(x []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// MatVec computes y = A·x. len(x) must equal A.Cols; the result has A.Rows entries.
+func MatVec(a *Matrix, x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic("linalg: matvec dimension mismatch")
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		y[i] = Dot(a.Row(i), x)
+	}
+	return y
+}
+
+// MatTVec computes y = Aᵀ·x. len(x) must equal A.Rows; the result has A.Cols entries.
+func MatTVec(a *Matrix, x []float64) []float64 {
+	if len(x) != a.Rows {
+		panic("linalg: mattvec dimension mismatch")
+	}
+	y := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		Axpy(x[i], a.Row(i), y)
+	}
+	return y
+}

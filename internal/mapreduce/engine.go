@@ -1,0 +1,305 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+// DefaultSplits is the number of HDFS-block splits per table.
+const DefaultSplits = 8
+
+// Engine is the Hadoop configuration: tables are text files (line-oriented,
+// comma-separated, as Hive external tables), data management runs as
+// Hive-style MR jobs, and analytics as Mahout-style MR jobs. Biclustering is
+// unsupported ("Hadoop and Postgres + Madlib do not provide sufficient
+// analytics functions to run the biclustering query").
+type Engine struct {
+	// Splits is the number of input splits (default 8).
+	Splits int
+	// Sched places map/reduce waves; nil runs single-node.
+	Sched TaskScheduler
+	// NameSuffix distinguishes multi-node variants in reports.
+	NameSuffix string
+
+	micro    [][]string // splits of "g,p,v" lines
+	patients []string
+	genes    []string
+	goLines  [][]string
+
+	numPats, numGenes, numTerms int
+}
+
+// New creates a single-node Hadoop engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "hadoop" + e.NameSuffix }
+
+// Supports implements engine.Engine.
+func (e *Engine) Supports(q engine.QueryID) bool { return q != engine.Q3Biclustering }
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error { return nil }
+
+func (e *Engine) splits() int {
+	if e.Splits > 0 {
+		return e.Splits
+	}
+	return DefaultSplits
+}
+
+// Load implements engine.Engine: every table becomes text lines in HDFS
+// style.
+func (e *Engine) Load(ds *datagen.Dataset) error {
+	p, g := ds.Dims.Patients, ds.Dims.Genes
+	lines := make([]string, 0, p*g)
+	var sb strings.Builder
+	for pi := 0; pi < p; pi++ {
+		row := ds.Expression.Row(pi)
+		for gi, v := range row {
+			sb.Reset()
+			sb.WriteString(strconv.Itoa(gi))
+			sb.WriteByte(',')
+			sb.WriteString(strconv.Itoa(pi))
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			lines = append(lines, sb.String())
+		}
+	}
+	e.micro = SplitLines(lines, e.splits())
+
+	e.patients = make([]string, p)
+	for i, pt := range ds.Patients {
+		e.patients[i] = fmt.Sprintf("%d,%d,%d,%d,%d,%s", pt.ID, pt.Age, pt.Gender, pt.Zipcode,
+			pt.DiseaseID, strconv.FormatFloat(pt.DrugResponse, 'g', -1, 64))
+	}
+	e.genes = make([]string, g)
+	for i, gn := range ds.Genes {
+		e.genes[i] = fmt.Sprintf("%d,%d,%d,%d,%d", gn.ID, gn.Target, gn.Position, gn.Length, gn.Function)
+	}
+	var goL []string
+	for gi := 0; gi < g; gi++ {
+		for t := 0; t < ds.Dims.GOTerms; t++ {
+			if ds.GOAt(gi, t) == 1 {
+				goL = append(goL, strconv.Itoa(gi)+","+strconv.Itoa(t)+",1")
+			}
+		}
+	}
+	e.goLines = SplitLines(goL, e.splits())
+	e.numPats, e.numGenes, e.numTerms = p, g, ds.Dims.GOTerms
+	return nil
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
+	if e.micro == nil {
+		return nil, fmt.Errorf("mapreduce: not loaded")
+	}
+	if !e.Supports(q) {
+		return nil, engine.ErrUnsupported
+	}
+	switch q {
+	case engine.Q1Regression:
+		return e.regression(ctx, p)
+	case engine.Q2Covariance:
+		return e.covariance(ctx, p)
+	case engine.Q4SVD:
+		return e.svd(ctx, p)
+	case engine.Q5Statistics:
+		return e.statistics(ctx, p)
+	default:
+		return nil, engine.ErrUnsupported
+	}
+}
+
+// --- Hive-style data management jobs ---
+
+// filterGenesJob selects gene ids with function < thr (map-only filter on
+// the genes table).
+func (e *Engine) filterGenesJob(ctx context.Context, thr int64) ([]int64, error) {
+	job := &Job{
+		Name:  "hive-filter-genes",
+		Input: SplitLines(e.genes, e.splits()),
+		Map: func(line string, emit func(k, v string)) error {
+			f := strings.Split(line, ",")
+			fn, err := strconv.ParseInt(f[4], 10, 64)
+			if err != nil {
+				return err
+			}
+			if fn < thr {
+				emit(pad(f[0]), "1")
+			}
+			return nil
+		},
+		Reduce: func(key string, _ []string, emit func(k, v string)) error {
+			emit(key, "1")
+			return nil
+		},
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return nil, err
+	}
+	return collectIDs(out)
+}
+
+// filterPatientsJob selects patient ids with a metadata predicate.
+func (e *Engine) filterPatientsJob(ctx context.Context, name string, pred func(age, gender, disease int64) bool) ([]int64, error) {
+	job := &Job{
+		Name:  name,
+		Input: SplitLines(e.patients, e.splits()),
+		Map: func(line string, emit func(k, v string)) error {
+			f := strings.Split(line, ",")
+			age, _ := strconv.ParseInt(f[1], 10, 64)
+			gender, _ := strconv.ParseInt(f[2], 10, 64)
+			disease, _ := strconv.ParseInt(f[4], 10, 64)
+			if pred(age, gender, disease) {
+				emit(pad(f[0]), "1")
+			}
+			return nil
+		},
+		Reduce: func(key string, _ []string, emit func(k, v string)) error {
+			emit(key, "1")
+			return nil
+		},
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return nil, err
+	}
+	return collectIDs(out)
+}
+
+// joinPivotJob joins the microarray with gene/patient id sets (broadcast
+// map-side join, as Hive does for small dimension tables) and reduces by
+// patient into dense row lines "patient \t v1,v2,...,vk" (the restructure
+// step). The driver then parses the rows it needs.
+func (e *Engine) joinPivotJob(ctx context.Context, geneIDs, patientIDs []int64) (*linalg.Matrix, error) {
+	gIdx := make(map[int64]int, len(geneIDs))
+	for i, id := range geneIDs {
+		gIdx[id] = i
+	}
+	var pIdx map[int64]int
+	if patientIDs != nil {
+		pIdx = make(map[int64]int, len(patientIDs))
+		for i, id := range patientIDs {
+			pIdx[id] = i
+		}
+	}
+	k := len(geneIDs)
+	job := &Job{
+		Name:        "hive-join-pivot",
+		Input:       e.micro,
+		NumReducers: e.splits(),
+		Map: func(line string, emit func(k2, v string)) error {
+			c1 := strings.IndexByte(line, ',')
+			c2 := c1 + 1 + strings.IndexByte(line[c1+1:], ',')
+			g, err := strconv.ParseInt(line[:c1], 10, 64)
+			if err != nil {
+				return err
+			}
+			gi, ok := gIdx[g]
+			if !ok {
+				return nil
+			}
+			p, err := strconv.ParseInt(line[c1+1:c2], 10, 64)
+			if err != nil {
+				return err
+			}
+			if pIdx != nil {
+				if _, ok := pIdx[p]; !ok {
+					return nil
+				}
+			}
+			emit(pad(line[c1+1:c2]), strconv.Itoa(gi)+":"+line[c2+1:])
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(k2, v string)) error {
+			row := make([]string, k)
+			for i := range row {
+				row[i] = "0"
+			}
+			for _, v := range values {
+				colon := strings.IndexByte(v, ':')
+				gi, err := strconv.Atoi(v[:colon])
+				if err != nil {
+					return err
+				}
+				row[gi] = v[colon+1:]
+			}
+			emit(key, strings.Join(row, ","))
+			return nil
+		},
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return nil, err
+	}
+	// Driver: parse row lines into the dense matrix.
+	nRows := e.numPats
+	if patientIDs != nil {
+		nRows = len(patientIDs)
+	}
+	m := linalg.NewMatrix(nRows, k)
+	for _, part := range out {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			pi, err := parsePadded(line[:tab])
+			if err != nil {
+				return nil, err
+			}
+			p := int64(pi)
+			ri := int(p)
+			if pIdx != nil {
+				ri = pIdx[p]
+			}
+			row := m.Row(ri)
+			fields := strings.Split(line[tab+1:], ",")
+			if len(fields) != k {
+				return nil, fmt.Errorf("mapreduce: row has %d fields, want %d", len(fields), k)
+			}
+			for j, f := range fields {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+		}
+	}
+	return m, nil
+}
+
+// pad zero-pads numeric string keys so lexicographic key order matches
+// numeric order (Hadoop sorts keys as bytes).
+func pad(s string) string {
+	const w = 10
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat("0", w-len(s)) + s
+}
+
+func collectIDs(parts [][]string) ([]int64, error) {
+	var ids []int64
+	for _, part := range parts {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			id, err := parsePadded(line[:tab])
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, int64(id))
+		}
+	}
+	// Reducer partitions interleave keys; sort numerically.
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids, nil
+}

@@ -1,0 +1,230 @@
+// Package mapreduce implements the Hadoop configuration: a real (in-process)
+// MapReduce framework with map, combine, partition, shuffle-sort, and reduce
+// phases, plus the Hive-style relational jobs and Mahout-style matrix jobs
+// GenBase needs. Records are text lines and keys/values are strings, exactly
+// as in Hadoop streaming — every stage pays parse/format costs, and no
+// high-performance linear algebra library is involved. That is the
+// architecture whose cost the paper measures ("Hadoop is good at neither
+// data management nor analytics").
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// KV is one intermediate key/value pair.
+type KV struct {
+	Key, Value string
+}
+
+// Job describes one MapReduce job. Input is pre-split; each split is a slice
+// of text lines (an HDFS block). Combine is optional.
+type Job struct {
+	Name  string
+	Input [][]string
+	// Map processes one line. Exactly one of Map and MapSplit must be set.
+	Map func(line string, emit func(k, v string)) error
+	// MapSplit processes a whole split at once — the in-mapper-combining
+	// pattern Mahout uses for partial matrix aggregates.
+	MapSplit    func(split []string, emit func(k, v string)) error
+	Combine     func(key string, values []string, emit func(k, v string)) error
+	Reduce      func(key string, values []string, emit func(k, v string)) error
+	NumReducers int
+}
+
+// TaskScheduler places map and reduce waves. The local scheduler runs tasks
+// sequentially; the virtual cluster scheduler (internal/cluster) spreads
+// them over simulated nodes and charges shuffle traffic to the network.
+type TaskScheduler interface {
+	// RunWave executes n independent tasks of one phase.
+	RunWave(ctx context.Context, phase string, n int, task func(i int) error) error
+	// ShuffleCost is informed of the map→reduce traffic matrix in bytes.
+	ShuffleCost(bytes [][]int64)
+}
+
+// LocalScheduler runs waves sequentially on the local node (single-node
+// Hadoop).
+type LocalScheduler struct{}
+
+// RunWave implements TaskScheduler.
+func (LocalScheduler) RunWave(ctx context.Context, _ string, n int, task func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := engine.CheckCtx(ctx); err != nil {
+			return err
+		}
+		if err := task(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShuffleCost implements TaskScheduler (free on a single node).
+func (LocalScheduler) ShuffleCost([][]int64) {}
+
+// Run executes the job and returns each reducer's output lines
+// ("key\tvalue"), reducers in index order. The scheduler defaults to local
+// execution when nil.
+func Run(ctx context.Context, job *Job, sched TaskScheduler) ([][]string, error) {
+	if sched == nil {
+		sched = LocalScheduler{}
+	}
+	r := job.NumReducers
+	if r <= 0 {
+		r = 1
+	}
+	nMappers := len(job.Input)
+	if nMappers == 0 {
+		return make([][]string, r), nil
+	}
+
+	// Map phase: each mapper partitions its emissions by hash(key) % r.
+	mapOut := make([][][]KV, nMappers) // [mapper][reducer][]KV
+	err := sched.RunWave(ctx, job.Name+":map", nMappers, func(m int) error {
+		buckets := make([][]KV, r)
+		emit := func(k, v string) {
+			p := partition(k, r)
+			buckets[p] = append(buckets[p], KV{k, v})
+		}
+		switch {
+		case job.MapSplit != nil:
+			if err := job.MapSplit(job.Input[m], emit); err != nil {
+				return fmt.Errorf("mapreduce: %s mapsplit: %w", job.Name, err)
+			}
+		case job.Map != nil:
+			for ln, line := range job.Input[m] {
+				if ln%8192 == 0 {
+					if err := engine.CheckCtx(ctx); err != nil {
+						return err
+					}
+				}
+				if err := job.Map(line, emit); err != nil {
+					return fmt.Errorf("mapreduce: %s map: %w", job.Name, err)
+				}
+			}
+		default:
+			return fmt.Errorf("mapreduce: %s has no map function", job.Name)
+		}
+		if job.Combine != nil {
+			for p := range buckets {
+				combined, err := combineBucket(buckets[p], job.Combine)
+				if err != nil {
+					return fmt.Errorf("mapreduce: %s combine: %w", job.Name, err)
+				}
+				buckets[p] = combined
+			}
+		}
+		mapOut[m] = buckets
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Report shuffle traffic (bytes of keys+values crossing mapper→reducer).
+	traffic := make([][]int64, nMappers)
+	for m := range traffic {
+		traffic[m] = make([]int64, r)
+		for p := 0; p < r; p++ {
+			var b int64
+			for _, kv := range mapOut[m][p] {
+				b += int64(len(kv.Key) + len(kv.Value) + 2)
+			}
+			traffic[m][p] = b
+		}
+	}
+	sched.ShuffleCost(traffic)
+
+	// Reduce phase: merge, sort by key, group, reduce.
+	out := make([][]string, r)
+	err = sched.RunWave(ctx, job.Name+":reduce", r, func(p int) error {
+		var all []KV
+		for m := 0; m < nMappers; m++ {
+			all = append(all, mapOut[m][p]...)
+		}
+		sort.SliceStable(all, func(a, b int) bool { return all[a].Key < all[b].Key })
+		var lines []string
+		emit := func(k, v string) { lines = append(lines, k+"\t"+v) }
+		for i := 0; i < len(all); {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return err
+			}
+			j := i
+			for j < len(all) && all[j].Key == all[i].Key {
+				j++
+			}
+			values := make([]string, 0, j-i)
+			for k := i; k < j; k++ {
+				values = append(values, all[k].Value)
+			}
+			if err := job.Reduce(all[i].Key, values, emit); err != nil {
+				return fmt.Errorf("mapreduce: %s reduce: %w", job.Name, err)
+			}
+			i = j
+		}
+		out[p] = lines
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func combineBucket(kvs []KV, combine func(string, []string, func(k, v string)) error) ([]KV, error) {
+	if len(kvs) == 0 {
+		return kvs, nil
+	}
+	sort.SliceStable(kvs, func(a, b int) bool { return kvs[a].Key < kvs[b].Key })
+	var out []KV
+	emit := func(k, v string) { out = append(out, KV{k, v}) }
+	for i := 0; i < len(kvs); {
+		j := i
+		for j < len(kvs) && kvs[j].Key == kvs[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, kvs[k].Value)
+		}
+		if err := combine(kvs[i].Key, values, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+func partition(key string, r int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(r))
+}
+
+// SplitLines divides lines into n roughly equal contiguous splits.
+func SplitLines(lines []string, n int) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(lines) && len(lines) > 0 {
+		n = len(lines)
+	}
+	out := make([][]string, 0, n)
+	if len(lines) == 0 {
+		return [][]string{nil}
+	}
+	per := (len(lines) + n - 1) / n
+	for i := 0; i < len(lines); i += per {
+		end := i + per
+		if end > len(lines) {
+			end = len(lines)
+		}
+		out = append(out, lines[i:end])
+	}
+	return out
+}

@@ -1,0 +1,694 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+// The Mahout-style analytics: every kernel is a chain of MR jobs over text
+// matrix rows, with in-mapper combining for partial aggregates and no BLAS
+// anywhere — "matrix operations are not done through a high performance
+// linear algebra package".
+
+// matrixLines renders a dense matrix as Mahout-style row files
+// "rowid \t v1,v2,..." split for MR input. This materialization-to-text
+// between DM and analytics jobs is part of Hadoop's cost.
+func matrixLines(m *linalg.Matrix, splits int) [][]string {
+	lines := make([]string, m.Rows)
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		sb.Reset()
+		sb.WriteString(pad(strconv.Itoa(i)))
+		sb.WriteByte('\t')
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		lines[i] = sb.String()
+	}
+	return SplitLines(lines, splits)
+}
+
+func parseRowLine(line string, dst []float64) (int, error) {
+	tab := strings.IndexByte(line, '\t')
+	id, err := parsePadded(line[:tab])
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Split(line[tab+1:], ",")
+	if len(fields) != len(dst) {
+		return 0, fmt.Errorf("mapreduce: row has %d fields, want %d", len(fields), len(dst))
+	}
+	for j, f := range fields {
+		dst[j], err = strconv.ParseFloat(f, 64)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+func parsePadded(s string) (int, error) {
+	t := strings.TrimLeft(s, "0")
+	if t == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(t)
+}
+
+// gramJob computes XᵀX and Xᵀy partials per mapper and reduces them — the
+// normal-equation approach Mahout-style regression takes.
+func (e *Engine) gramJob(ctx context.Context, matrix [][]string, k int, y []float64) (*linalg.Matrix, []float64, error) {
+	job := &Job{
+		Name:        "mahout-gram",
+		Input:       matrix,
+		NumReducers: e.splits(),
+		MapSplit: func(split []string, emit func(key, v string)) error {
+			gram := make([]float64, k*k)
+			aty := make([]float64, k)
+			row := make([]float64, k)
+			for ln, line := range split {
+				if ln%1024 == 0 {
+					if err := engine.CheckCtx(ctx); err != nil {
+						return err
+					}
+				}
+				id, err := parseRowLine(line, row)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < k; i++ {
+					vi := row[i]
+					if vi == 0 {
+						continue
+					}
+					for j := i; j < k; j++ {
+						gram[i*k+j] += vi * row[j]
+					}
+				}
+				if y != nil {
+					yi := y[id]
+					for i := 0; i < k; i++ {
+						aty[i] += yi * row[i]
+					}
+				}
+			}
+			for i := 0; i < k; i++ {
+				for j := i; j < k; j++ {
+					emit("g:"+pad(strconv.Itoa(i))+":"+pad(strconv.Itoa(j)),
+						strconv.FormatFloat(gram[i*k+j], 'g', -1, 64))
+				}
+			}
+			if y != nil {
+				for i := 0; i < k; i++ {
+					emit("y:"+pad(strconv.Itoa(i)), strconv.FormatFloat(aty[i], 'g', -1, 64))
+				}
+			}
+			return nil
+		},
+		Reduce: sumReduce,
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	gram := linalg.NewMatrix(k, k)
+	aty := make([]float64, k)
+	for _, part := range out {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			key := line[:tab]
+			v, err := strconv.ParseFloat(line[tab+1:], 64)
+			if err != nil {
+				return nil, nil, err
+			}
+			switch key[0] {
+			case 'g':
+				rest := key[2:]
+				colon := strings.IndexByte(rest, ':')
+				i, _ := parsePadded(rest[:colon])
+				j, _ := parsePadded(rest[colon+1:])
+				gram.Set(i, j, v)
+				gram.Set(j, i, v)
+			case 'y':
+				i, _ := parsePadded(key[2:])
+				aty[i] = v
+			}
+		}
+	}
+	return gram, aty, nil
+}
+
+// sumReduce adds string-encoded float values (with string round-trips, as a
+// streaming reducer would).
+func sumReduce(key string, values []string, emit func(k, v string)) error {
+	s := 0.0
+	for _, v := range values {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return err
+		}
+		s += f
+	}
+	emit(key, strconv.FormatFloat(s, 'g', -1, 64))
+	return nil
+}
+
+// colMeansJob computes per-column means of a matrix file.
+func (e *Engine) colMeansJob(ctx context.Context, matrix [][]string, k int, nRows int) ([]float64, error) {
+	job := &Job{
+		Name:        "mahout-colmeans",
+		Input:       matrix,
+		NumReducers: e.splits(),
+		MapSplit: func(split []string, emit func(key, v string)) error {
+			sums := make([]float64, k)
+			row := make([]float64, k)
+			for _, line := range split {
+				if _, err := parseRowLine(line, row); err != nil {
+					return err
+				}
+				for j, v := range row {
+					sums[j] += v
+				}
+			}
+			for j, s := range sums {
+				emit(pad(strconv.Itoa(j)), strconv.FormatFloat(s, 'g', -1, 64))
+			}
+			return nil
+		},
+		Reduce: sumReduce,
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, k)
+	for _, part := range out {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			j, err := parsePadded(line[:tab])
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseFloat(line[tab+1:], 64)
+			if err != nil {
+				return nil, err
+			}
+			means[j] = v / float64(nRows)
+		}
+	}
+	return means, nil
+}
+
+// centeredGramJob computes Σ (x−mean)(x−mean)ᵀ partials — covariance before
+// the 1/(n−1) scale.
+func (e *Engine) centeredGramJob(ctx context.Context, matrix [][]string, k int, means []float64) (*linalg.Matrix, error) {
+	job := &Job{
+		Name:        "mahout-centered-gram",
+		Input:       matrix,
+		NumReducers: e.splits(),
+		MapSplit: func(split []string, emit func(key, v string)) error {
+			gram := make([]float64, k*k)
+			row := make([]float64, k)
+			for ln, line := range split {
+				if ln%256 == 0 {
+					if err := engine.CheckCtx(ctx); err != nil {
+						return err
+					}
+				}
+				if _, err := parseRowLine(line, row); err != nil {
+					return err
+				}
+				for j := range row {
+					row[j] -= means[j]
+				}
+				for i := 0; i < k; i++ {
+					vi := row[i]
+					if vi == 0 {
+						continue
+					}
+					for j := i; j < k; j++ {
+						gram[i*k+j] += vi * row[j]
+					}
+				}
+			}
+			for i := 0; i < k; i++ {
+				if err := engine.CheckCtx(ctx); err != nil {
+					return err
+				}
+				for j := i; j < k; j++ {
+					emit("c:"+pad(strconv.Itoa(i))+":"+pad(strconv.Itoa(j)),
+						strconv.FormatFloat(gram[i*k+j], 'g', -1, 64))
+				}
+			}
+			return nil
+		},
+		Reduce: sumReduce,
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return nil, err
+	}
+	gram := linalg.NewMatrix(k, k)
+	for _, part := range out {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			key := line[2:tab]
+			colon := strings.IndexByte(key, ':')
+			i, _ := parsePadded(key[:colon])
+			j, _ := parsePadded(key[colon+1:])
+			v, err := strconv.ParseFloat(line[tab+1:], 64)
+			if err != nil {
+				return nil, err
+			}
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	return gram, nil
+}
+
+// mrATAOperator runs one MR job per Lanczos iteration: each mapper parses
+// its rows, computes y_i = row·x and accumulates z += y_i·row locally, then
+// reducers sum the partial z vectors. Exactly Mahout's DistributedLanczos
+// shape.
+type mrATAOperator struct {
+	ctx    context.Context
+	e      *Engine
+	matrix [][]string
+	k      int
+	err    error
+}
+
+// Dim implements linalg.LinearOperator.
+func (o *mrATAOperator) Dim() int { return o.k }
+
+// Apply implements linalg.LinearOperator.
+func (o *mrATAOperator) Apply(x []float64) []float64 {
+	out := make([]float64, o.k)
+	if o.err != nil {
+		return out
+	}
+	job := &Job{
+		Name:        "mahout-lanczos-matvec",
+		Input:       o.matrix,
+		NumReducers: o.e.splits(),
+		MapSplit: func(split []string, emit func(key, v string)) error {
+			z := make([]float64, o.k)
+			row := make([]float64, o.k)
+			for ln, line := range split {
+				if ln%1024 == 0 {
+					if err := engine.CheckCtx(o.ctx); err != nil {
+						return err
+					}
+				}
+				if _, err := parseRowLine(line, row); err != nil {
+					return err
+				}
+				yi := 0.0
+				for j, v := range row {
+					yi += v * x[j]
+				}
+				for j, v := range row {
+					z[j] += yi * v
+				}
+			}
+			for j, v := range z {
+				emit(pad(strconv.Itoa(j)), strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			return nil
+		},
+		Reduce: sumReduce,
+	}
+	res, err := Run(o.ctx, job, o.e.Sched)
+	if err != nil {
+		o.err = err
+		return out
+	}
+	for _, part := range res {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			j, err := parsePadded(line[:tab])
+			if err != nil {
+				o.err = err
+				return out
+			}
+			v, err := strconv.ParseFloat(line[tab+1:], 64)
+			if err != nil {
+				o.err = err
+				return out
+			}
+			out[j] = v
+		}
+	}
+	return out
+}
+
+// --- the four supported queries ---
+
+func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	genes, err := e.filterGenesJob(ctx, p.FunctionThreshold)
+	if err != nil {
+		return nil, err
+	}
+	if len(genes) == 0 {
+		return nil, fmt.Errorf("mapreduce: no genes pass function < %d", p.FunctionThreshold)
+	}
+	x, err := e.joinPivotJob(ctx, genes, nil)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, e.numPats)
+	for _, line := range e.patients {
+		f := strings.Split(line, ",")
+		id, _ := strconv.Atoi(f[0])
+		y[id], _ = strconv.ParseFloat(f[5], 64)
+	}
+
+	sw.StartAnalytics()
+	// Normal equations via MR over [1 | X] row files, solved in the driver.
+	xi := linalg.AddInterceptColumn(x)
+	matrix := matrixLines(xi, e.splits())
+	k := xi.Cols
+	gram, aty, err := e.gramJob(ctx, matrix, k, y)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := solveSymmetric(gram, aty)
+	if err != nil {
+		return nil, err
+	}
+	// R² via a residual-sum job.
+	ssRes, err := e.ssResJob(ctx, matrix, beta, y)
+	if err != nil {
+		return nil, err
+	}
+	my := linalg.Mean(y)
+	ssTot := 0.0
+	for _, v := range y {
+		ssTot += (v - my) * (v - my)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	sw.Stop()
+
+	sel := make([]int, len(genes))
+	for i, g := range genes {
+		sel[i] = int(g)
+	}
+	return &engine.Result{
+		Query:  engine.Q1Regression,
+		Timing: sw.Timing(),
+		Answer: &engine.RegressionAnswer{
+			Coefficients:  beta,
+			RSquared:      r2,
+			SelectedGenes: sel,
+			NumPatients:   e.numPats,
+		},
+	}, nil
+}
+
+// ssResJob sums squared residuals with mapper-local accumulation.
+func (e *Engine) ssResJob(ctx context.Context, matrix [][]string, beta, y []float64) (float64, error) {
+	k := len(beta)
+	job := &Job{
+		Name:  "mahout-ssres",
+		Input: matrix,
+		MapSplit: func(split []string, emit func(key, v string)) error {
+			row := make([]float64, k)
+			ss := 0.0
+			for _, line := range split {
+				id, err := parseRowLine(line, row)
+				if err != nil {
+					return err
+				}
+				pred := 0.0
+				for j, v := range row {
+					pred += v * beta[j]
+				}
+				d := y[id] - pred
+				ss += d * d
+			}
+			emit("ssres", strconv.FormatFloat(ss, 'g', -1, 64))
+			return nil
+		},
+		Reduce: sumReduce,
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return 0, err
+	}
+	for _, part := range out {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			return strconv.ParseFloat(line[tab+1:], 64)
+		}
+	}
+	return 0, fmt.Errorf("mapreduce: ssres job produced no output")
+}
+
+// solveSymmetric solves Gx = b for a symmetric positive-definite G by QR.
+func solveSymmetric(g *linalg.Matrix, b []float64) ([]float64, error) {
+	qr, err := linalg.NewQR(g)
+	if err != nil {
+		return nil, err
+	}
+	return qr.Solve(b)
+}
+
+func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	pats, err := e.filterPatientsJob(ctx, "hive-filter-disease",
+		func(_, _, disease int64) bool { return disease == p.DiseaseID })
+	if err != nil {
+		return nil, err
+	}
+	if len(pats) < 2 {
+		return nil, fmt.Errorf("mapreduce: fewer than two patients with disease %d", p.DiseaseID)
+	}
+	x, err := e.joinPivotJob(ctx, allIDs(e.numGenes), pats)
+	if err != nil {
+		return nil, err
+	}
+
+	sw.StartAnalytics()
+	matrix := matrixLines(x, e.splits())
+	means, err := e.colMeansJob(ctx, matrix, x.Cols, x.Rows)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := e.centeredGramJob(ctx, matrix, x.Cols, means)
+	if err != nil {
+		return nil, err
+	}
+	cov.Scale(1 / float64(x.Rows-1))
+
+	sw.StartDM()
+	fns := make([]int64, e.numGenes)
+	for _, line := range e.genes {
+		f := strings.Split(line, ",")
+		id, _ := strconv.Atoi(f[0])
+		fns[id], _ = strconv.ParseInt(f[4], 10, 64)
+	}
+	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, mrFuncLookup{fns}, len(pats))
+	sw.Stop()
+	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
+}
+
+type mrFuncLookup struct{ fns []int64 }
+
+func (f mrFuncLookup) FunctionOf(g int) int64 { return f.fns[g] }
+
+func allIDs(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	genes, err := e.filterGenesJob(ctx, p.FunctionThreshold)
+	if err != nil {
+		return nil, err
+	}
+	if len(genes) == 0 {
+		return nil, fmt.Errorf("mapreduce: no genes pass function < %d", p.FunctionThreshold)
+	}
+	a, err := e.joinPivotJob(ctx, genes, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	sw.StartAnalytics()
+	op := &mrATAOperator{ctx: ctx, e: e, matrix: matrixLines(a, e.splits()), k: a.Cols}
+	eig, err := linalg.Lanczos(op, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+	if op.err != nil {
+		return nil, op.err
+	}
+	if err != nil {
+		return nil, err
+	}
+	sv := make([]float64, len(eig.Values))
+	for i, lam := range eig.Values {
+		if lam < 0 {
+			lam = 0
+		}
+		sv[i] = math.Sqrt(lam)
+	}
+	sw.Stop()
+	return &engine.Result{
+		Query:  engine.Q4SVD,
+		Timing: sw.Timing(),
+		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: sv},
+	}, nil
+}
+
+func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	step := int64(p.SamplePatientStep())
+	// Means per gene over the sample: filter + aggregate with combiners.
+	job := &Job{
+		Name:        "hive-sample-means",
+		Input:       e.micro,
+		NumReducers: e.splits(),
+		Map: func(line string, emit func(k, v string)) error {
+			c1 := strings.IndexByte(line, ',')
+			c2 := c1 + 1 + strings.IndexByte(line[c1+1:], ',')
+			pid, err := strconv.ParseInt(line[c1+1:c2], 10, 64)
+			if err != nil {
+				return err
+			}
+			if pid%step != 0 {
+				return nil
+			}
+			emit(pad(line[:c1]), line[c2+1:]+":1")
+			return nil
+		},
+		Combine: sumCountReduce,
+		Reduce:  sumCountReduce,
+	}
+	out, err := Run(ctx, job, e.Sched)
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, e.numGenes)
+	for _, part := range out {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			g, err := parsePadded(line[:tab])
+			if err != nil {
+				return nil, err
+			}
+			colon := strings.LastIndexByte(line, ':')
+			sum, err := strconv.ParseFloat(line[tab+1:colon], 64)
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := strconv.ParseFloat(line[colon+1:], 64)
+			if err != nil {
+				return nil, err
+			}
+			means[g] = sum / cnt
+		}
+	}
+	sampled := 0
+	for pid := int64(0); pid < int64(e.numPats); pid += step {
+		sampled++
+	}
+	// GO members grouped by term with a reduce-side join shape.
+	goJob := &Job{
+		Name:        "hive-go-members",
+		Input:       e.goLines,
+		NumReducers: e.splits(),
+		Map: func(line string, emit func(k, v string)) error {
+			f := strings.Split(line, ",")
+			if f[2] != "1" {
+				return nil
+			}
+			emit(pad(f[1]), f[0])
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) error {
+			emit(key, strings.Join(values, ","))
+			return nil
+		},
+	}
+	goOut, err := Run(ctx, goJob, e.Sched)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]int32, e.numTerms)
+	for _, part := range goOut {
+		for _, line := range part {
+			tab := strings.IndexByte(line, '\t')
+			t, err := parsePadded(line[:tab])
+			if err != nil {
+				return nil, err
+			}
+			var gs []int32
+			for _, f := range strings.Split(line[tab+1:], ",") {
+				g, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, err
+				}
+				gs = append(gs, int32(g))
+			}
+			sortInt32(gs)
+			members[t] = gs
+		}
+	}
+
+	sw.StartAnalytics()
+	ans, err := engine.EnrichmentTest(ctx, means, members, sampled)
+	if err != nil {
+		return nil, err
+	}
+	sw.Stop()
+	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
+}
+
+// sumCountReduce folds "sum:count" encoded values.
+func sumCountReduce(key string, values []string, emit func(k, v string)) error {
+	sum, cnt := 0.0, 0.0
+	for _, v := range values {
+		colon := strings.LastIndexByte(v, ':')
+		s, err := strconv.ParseFloat(v[:colon], 64)
+		if err != nil {
+			return err
+		}
+		c, err := strconv.ParseFloat(v[colon+1:], 64)
+		if err != nil {
+			return err
+		}
+		sum += s
+		cnt += c
+	}
+	emit(key, strconv.FormatFloat(sum, 'g', -1, 64)+":"+strconv.FormatFloat(cnt, 'g', -1, 64))
+	return nil
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package multinode implements the paper's multi-node configurations
+// (§4.2, Figures 3–4): pbdR, column store + pbdR, column store + UDFs,
+// SciDB, SciDB + Xeon Phi, and Hadoop, each running over the virtual
+// cluster. Data is partitioned by patient (row blocks) at load time; data
+// management runs locally per node; analytics run through the distributed
+// linear algebra layer (ScaLAPACK analog) or, where a configuration lacks
+// one, by gathering to the coordinator. Reported timings are virtual
+// makespans (see internal/cluster).
+package multinode
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/genbase/genbase/internal/cluster"
+	"github.com/genbase/genbase/internal/colstore"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/distlinalg"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/xeonphi"
+)
+
+// Kind names a multi-node configuration.
+type Kind int
+
+// The multi-node systems of Figures 3–5.
+const (
+	PBDR Kind = iota
+	ColstorePBDR
+	ColstoreUDF
+	SciDB
+	SciDBPhi
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PBDR:
+		return "pbdr"
+	case ColstorePBDR:
+		return "colstore-pbdr"
+	case ColstoreUDF:
+		return "colstore-udf"
+	case SciDB:
+		return "scidb"
+	case SciDBPhi:
+		return "scidb-phi"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Engine is a multi-node system under test.
+type Engine struct {
+	kind Kind
+	c    *cluster.Cluster
+	dev  *xeonphi.Device // SciDBPhi only
+
+	// Row-partitioned expression data: node i owns patients
+	// [starts[i], starts[i+1]).
+	starts []int
+	blocks []*linalg.Matrix  // dense blocks (pbdr, scidb kinds)
+	cols   []*colstore.Table // per-node micro columns (colstore kinds)
+
+	// Replicated small metadata (each node has a copy, as pbdR does).
+	age, gender, disease []int64
+	drugResponse         []float64
+	function             []int64
+	goArr                []uint8
+
+	numPats, numGenes, numTerms int
+}
+
+// New creates a multi-node engine with the given cluster size.
+func New(kind Kind, nodes int) *Engine {
+	e := &Engine{kind: kind, c: cluster.New(cluster.DefaultConfig(nodes))}
+	if kind == SciDBPhi {
+		e.dev = xeonphi.NewDevice5110P()
+	}
+	return e
+}
+
+// Cluster exposes the virtual cluster (for the network ablation bench).
+func (e *Engine) Cluster() *cluster.Cluster { return e.c }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return e.kind.String() }
+
+// Supports implements engine.Engine: these configurations run all five
+// queries (Hadoop, which does not, wraps the mapreduce engine separately).
+func (e *Engine) Supports(engine.QueryID) bool { return true }
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error { return nil }
+
+// Load implements engine.Engine: partitions by patient, replicates metadata.
+func (e *Engine) Load(ds *datagen.Dataset) error {
+	p, g := ds.Dims.Patients, ds.Dims.Genes
+	e.starts = e.c.Partition(p)
+	e.numPats, e.numGenes, e.numTerms = p, g, ds.Dims.GOTerms
+
+	switch e.kind {
+	case ColstorePBDR, ColstoreUDF:
+		e.cols = nil
+		for n := 0; n < e.c.Nodes(); n++ {
+			lo, hi := e.starts[n], e.starts[n+1]
+			rows := (hi - lo) * g
+			geneCol := make([]int64, 0, rows)
+			patCol := make([]int64, 0, rows)
+			valCol := make([]float64, 0, rows)
+			for pi := lo; pi < hi; pi++ {
+				row := ds.Expression.Row(pi)
+				for gi, v := range row {
+					geneCol = append(geneCol, int64(gi))
+					patCol = append(patCol, int64(pi))
+					valCol = append(valCol, v)
+				}
+			}
+			t := colstore.NewTable(fmt.Sprintf("micro-%d", n), rows).
+				AddInt("geneid", geneCol).AddInt("patientid", patCol).AddFloat("value", valCol)
+			e.cols = append(e.cols, t)
+		}
+	default:
+		e.blocks = nil
+		for n := 0; n < e.c.Nodes(); n++ {
+			lo, hi := e.starts[n], e.starts[n+1]
+			blk := linalg.NewMatrix(hi-lo, g)
+			for pi := lo; pi < hi; pi++ {
+				copy(blk.Row(pi-lo), ds.Expression.Row(pi))
+			}
+			e.blocks = append(e.blocks, blk)
+		}
+	}
+
+	e.age = make([]int64, p)
+	e.gender = make([]int64, p)
+	e.disease = make([]int64, p)
+	e.drugResponse = make([]float64, p)
+	for i, pt := range ds.Patients {
+		e.age[i] = int64(pt.Age)
+		e.gender[i] = int64(pt.Gender)
+		e.disease[i] = int64(pt.DiseaseID)
+		e.drugResponse[i] = pt.DrugResponse
+	}
+	e.function = make([]int64, g)
+	for i, gn := range ds.Genes {
+		e.function[i] = int64(gn.Function)
+	}
+	e.goArr = make([]uint8, len(ds.GO))
+	copy(e.goArr, ds.GO)
+	return nil
+}
+
+// Run implements engine.Engine. Timing is the virtual makespan, split at the
+// DM/analytics boundary.
+func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
+	if e.starts == nil {
+		return nil, fmt.Errorf("multinode: not loaded")
+	}
+	e.c.Reset()
+	var ans any
+	var dmSeconds float64
+	var err error
+	switch q {
+	case engine.Q1Regression:
+		ans, dmSeconds, err = e.regression(ctx, p)
+	case engine.Q2Covariance:
+		ans, dmSeconds, err = e.covariance(ctx, p)
+	case engine.Q3Biclustering:
+		ans, dmSeconds, err = e.biclustering(ctx, p)
+	case engine.Q4SVD:
+		ans, dmSeconds, err = e.svd(ctx, p)
+	case engine.Q5Statistics:
+		ans, dmSeconds, err = e.statistics(ctx, p)
+	default:
+		return nil, engine.ErrUnsupported
+	}
+	if err != nil {
+		return nil, err
+	}
+	total := e.c.MakespanSeconds()
+	return &engine.Result{
+		Query: q,
+		Timing: engine.Timing{
+			DataManagement: secToDur(dmSeconds),
+			Analytics:      secToDur(total - dmSeconds),
+		},
+		Answer: ans,
+	}, nil
+}
+
+func secToDur(s float64) time.Duration {
+	if s < 0 {
+		s = 0
+	}
+	return time.Duration(s * 1e9)
+}
+
+// --- local data-management helpers (per node, executed under Exec) ---
+
+// localPivot extracts the node's block restricted to the given global
+// patients (within this node's range) and gene columns.
+func (e *Engine) localPivot(node int, patients []int64, genes []int64) *linalg.Matrix {
+	lo := e.starts[node]
+	if e.cols != nil {
+		// Column-store path: selection vectors over compressed columns.
+		t := e.cols[node]
+		patIdx := make(map[int64]int, len(patients))
+		for i, id := range patients {
+			patIdx[id] = i
+		}
+		geneIdx := make([]int32, e.numGenes)
+		for i := range geneIdx {
+			geneIdx[i] = -1
+		}
+		for i, id := range genes {
+			geneIdx[id] = int32(i)
+		}
+		sel := t.Int("patientid").Select(func(v int64) bool { _, ok := patIdx[v]; return ok }, nil)
+		if len(genes) < e.numGenes {
+			sel = t.Int("geneid").SelectRefine(func(v int64) bool { return geneIdx[v] >= 0 }, sel)
+		}
+		m := linalg.NewMatrix(len(patients), len(genes))
+		gc, pc := t.Int("geneid"), t.Int("patientid")
+		vals := t.Float("value")
+		for _, i := range sel {
+			pi := patIdx[pc.At(int(i))]
+			gi := geneIdx[gc.At(int(i))]
+			m.Set(pi, int(gi), vals[i])
+		}
+		return m
+	}
+	// Dense-block path (pbdR data frames / SciDB subarray).
+	blk := e.blocks[node]
+	m := linalg.NewMatrix(len(patients), len(genes))
+	for k, pid := range patients {
+		src := blk.Row(int(pid) - lo)
+		dst := m.Row(k)
+		for j, g := range genes {
+			dst[j] = src[g]
+		}
+	}
+	return m
+}
+
+// localPatients returns the node's patients passing pred, ascending.
+func (e *Engine) localPatients(node int, pred func(pid int) bool) []int64 {
+	var out []int64
+	for pid := e.starts[node]; pid < e.starts[node+1]; pid++ {
+		if pred(pid) {
+			out = append(out, int64(pid))
+		}
+	}
+	return out
+}
+
+func (e *Engine) selectGenes(thr int64) []int64 {
+	var out []int64
+	for g, f := range e.function {
+		if f < thr {
+			out = append(out, int64(g))
+		}
+	}
+	return out
+}
+
+func allGeneIDs(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// buildDistMatrix runs the local DM on every node (filter + pivot) and wraps
+// the blocks as a distributed matrix. Returns the selected patients in
+// global order.
+func (e *Engine) buildDistMatrix(ctx context.Context, pred func(pid int) bool, genes []int64) (*distlinalg.DistMatrix, []int64, error) {
+	parts := make([]*linalg.Matrix, e.c.Nodes())
+	var allPatients []int64
+	for n := 0; n < e.c.Nodes(); n++ {
+		n := n
+		if err := engine.CheckCtx(ctx); err != nil {
+			return nil, nil, err
+		}
+		var local []int64
+		if err := e.c.Exec(n, func() error {
+			local = e.localPatients(n, pred)
+			parts[n] = e.localPivot(n, local, genes)
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		allPatients = append(allPatients, local...)
+	}
+	e.c.Barrier()
+	return distlinalg.FromParts(e.c, parts), allPatients, nil
+}
+
+// redistribute charges SciDB's chunk→block-cyclic repartitioning before a
+// ScaLAPACK call: an all-to-all exchange of the matrix. This is the data
+// movement behind the paper's observation that "SciDB often has worse
+// performance on two nodes than on one".
+func (e *Engine) redistribute(d *distlinalg.DistMatrix) {
+	if e.c.Nodes() < 2 {
+		return
+	}
+	total := int64(d.Rows()) * int64(d.Cols) * 8
+	pairs := int64(e.c.Nodes()) * int64(e.c.Nodes())
+	e.c.AllToAll(total / pairs)
+}
+
+// execKernel runs an analytics kernel on a node, at host rate or on the
+// node's coprocessor (SciDBPhi). Both paths measure the (idempotent) kernel
+// with xeonphi.MeasureKernel so host/device speedup ratios are stable even
+// for sub-millisecond kernels.
+func (e *Engine) execKernel(node int, kind string, inBytes, outBytes int64, fn func() error) error {
+	if e.dev == nil {
+		measured, err := xeonphi.MeasureKernel(fn)
+		if err != nil {
+			return err
+		}
+		e.c.Charge(node, measured)
+		return nil
+	}
+	compute, transfer, err := e.dev.Offload(context.Background(), kind, inBytes, outBytes, fn)
+	if err != nil {
+		return err
+	}
+	e.c.Charge(node, compute+transfer)
+	return nil
+}
+
+type funcLookup struct{ fns []int64 }
+
+func (f funcLookup) FunctionOf(g int) int64 { return f.fns[g] }

@@ -1,0 +1,402 @@
+package multinode
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/genbase/genbase/internal/bicluster"
+	"github.com/genbase/genbase/internal/distlinalg"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/xeonphi"
+)
+
+// biclusterRun applies the shared Cheng–Church options so multi-node answers
+// match the single-node engines exactly.
+func biclusterRun(x *linalg.Matrix, p engine.Params) ([]bicluster.Bicluster, error) {
+	return bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
+}
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+// Each query returns (answer, dmSeconds): dmSeconds is the virtual makespan
+// at the end of the data-management phase; the caller derives analytics time
+// from the final makespan.
+
+func (e *Engine) regression(ctx context.Context, p engine.Params) (any, float64, error) {
+	genes := e.selectGenes(p.FunctionThreshold)
+	if len(genes) == 0 {
+		return nil, 0, fmt.Errorf("multinode: no genes pass function < %d", p.FunctionThreshold)
+	}
+	d, pats, err := e.buildDistMatrix(ctx, func(int) bool { return true }, genes)
+	if err != nil {
+		return nil, 0, err
+	}
+	dm := e.c.MakespanSeconds()
+
+	y := make([]float64, len(pats))
+	for i, pid := range pats {
+		y[i] = e.drugResponse[pid]
+	}
+
+	var fit *linalg.LeastSquaresResult
+	switch e.kind {
+	case ColstoreUDF:
+		// No distributed analytics runtime: gather to the coordinator and
+		// call the UDF there. Analytics do not scale with nodes.
+		x := d.Gather()
+		err = e.c.Exec(0, func() error {
+			var kerr error
+			fit, kerr = linalg.LeastSquares(linalg.AddInterceptColumn(x), y)
+			return kerr
+		})
+	default:
+		// pbdR / ScaLAPACK distributed least squares. SciDB repartitions its
+		// chunks into the block-cyclic layout first. Regression never
+		// offloads to the Phi (MKL auto-offload unsupported, §5.2).
+		if e.kind == SciDB || e.kind == SciDBPhi {
+			e.redistribute(d)
+		}
+		fit, err = interceptParts(d).LeastSquares(y)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+
+	sel := make([]int, len(genes))
+	for i, g := range genes {
+		sel[i] = int(g)
+	}
+	return &engine.RegressionAnswer{
+		Coefficients:  fit.Coefficients,
+		RSquared:      fit.RSquared,
+		SelectedGenes: sel,
+		NumPatients:   e.numPats,
+	}, dm, nil
+}
+
+// interceptParts prepends an all-ones column to every block of d.
+func interceptParts(d *distlinalg.DistMatrix) *distlinalg.DistMatrix {
+	parts := make([]*linalg.Matrix, len(d.Parts))
+	for i, p := range d.Parts {
+		parts[i] = linalg.AddInterceptColumn(p)
+	}
+	return distlinalg.FromParts(d.C, parts)
+}
+
+func (e *Engine) covariance(ctx context.Context, p engine.Params) (any, float64, error) {
+	d, pats, err := e.buildDistMatrix(ctx, func(pid int) bool { return e.disease[pid] == p.DiseaseID }, allGeneIDs(e.numGenes))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(pats) < 2 {
+		return nil, 0, fmt.Errorf("multinode: fewer than two patients with disease %d", p.DiseaseID)
+	}
+	dm := e.c.MakespanSeconds()
+
+	var cov *linalg.Matrix
+	switch e.kind {
+	case ColstoreUDF:
+		x := d.Gather()
+		err = e.c.Exec(0, func() error {
+			cov = linalg.Covariance(x)
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	default:
+		if e.kind == SciDB || e.kind == SciDBPhi {
+			e.redistribute(d)
+		}
+		if e.dev != nil {
+			cov, err = e.phiCovariance(d)
+		} else {
+			cov, err = d.Covariance()
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+
+	// The metadata join (Q2 step 4) is data management on the coordinator:
+	// attribute its makespan growth back to the DM total, as the single-node
+	// engines do.
+	afterKernel := e.c.MakespanSeconds()
+	var ans *engine.CovarianceAnswer
+	if err := e.c.Exec(0, func() error {
+		ans = engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{e.function}, len(pats))
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	dm += e.c.MakespanSeconds() - afterKernel
+	return ans, dm, nil
+}
+
+// phiCovariance mirrors distlinalg.Covariance but charges each node's gram
+// kernel at the device rate (pdgemm auto-offload, §5.2).
+func (e *Engine) phiCovariance(d *distlinalg.DistMatrix) (*linalg.Matrix, error) {
+	n := d.Rows()
+	sums, err := d.ColumnSums()
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, d.Cols)
+	for j, s := range sums {
+		means[j] = s / float64(n)
+	}
+	e.c.Broadcast(0, int64(d.Cols)*8)
+	e.c.Barrier()
+
+	partials := make([]*linalg.Matrix, len(d.Parts))
+	for i, part := range d.Parts {
+		i, part := i, part
+		inBytes := int64(part.Rows) * int64(part.Cols) * 8
+		outBytes := int64(d.Cols) * int64(d.Cols) * 8
+		err := e.execKernel(i, xeonphi.KindGEMM, inBytes, outBytes, func() error {
+			centered := linalg.NewMatrix(part.Rows, part.Cols)
+			for r := 0; r < part.Rows; r++ {
+				src, dst := part.Row(r), centered.Row(r)
+				for j, v := range src {
+					dst[j] = v - means[j]
+				}
+			}
+			partials[i] = linalg.MulATA(centered)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.c.Gather(0, int64(d.Cols)*int64(d.Cols)*8)
+	var cov *linalg.Matrix
+	if err := e.c.Exec(0, func() error {
+		cov = linalg.NewMatrix(d.Cols, d.Cols)
+		for _, p := range partials {
+			cov.Add(cov, p)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	cov.Scale(1 / float64(n-1))
+	e.c.Barrier()
+	return cov, nil
+}
+
+func (e *Engine) biclustering(ctx context.Context, p engine.Params) (any, float64, error) {
+	d, pats, err := e.buildDistMatrix(ctx, func(pid int) bool {
+		return e.gender[pid] == int64(p.Gender) && e.age[pid] < p.MaxAge
+	}, allGeneIDs(e.numGenes))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(pats) < 4 {
+		return nil, 0, fmt.Errorf("multinode: only %d patients pass the Q3 filter", len(pats))
+	}
+	// Biclustering does not distribute: gather to the coordinator (every
+	// configuration in the paper effectively does this, which is why Q3
+	// shows no multi-node speedup).
+	x := d.Gather()
+	dm := e.c.MakespanSeconds()
+
+	var ans *engine.BiclusterAnswer
+	inBytes := int64(x.Rows) * int64(x.Cols) * 8
+	err = e.execKernel(0, xeonphi.KindBicluster, inBytes, 4096, func() error {
+		blocks, kerr := biclusterRun(x, p)
+		if kerr != nil {
+			return kerr
+		}
+		ans = engine.BiclusterAnswerFromBlocks(blocks, pats)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ans, dm, nil
+}
+
+func (e *Engine) svd(ctx context.Context, p engine.Params) (any, float64, error) {
+	genes := e.selectGenes(p.FunctionThreshold)
+	if len(genes) == 0 {
+		return nil, 0, fmt.Errorf("multinode: no genes pass function < %d", p.FunctionThreshold)
+	}
+	d, _, err := e.buildDistMatrix(ctx, func(int) bool { return true }, genes)
+	if err != nil {
+		return nil, 0, err
+	}
+	dm := e.c.MakespanSeconds()
+
+	var sv []float64
+	switch e.kind {
+	case ColstoreUDF:
+		a := d.Gather()
+		err = e.c.Exec(0, func() error {
+			svd, kerr := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+			if kerr != nil {
+				return kerr
+			}
+			sv = svd.SingularValues
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	default:
+		if e.kind == SciDB || e.kind == SciDBPhi {
+			e.redistribute(d)
+		}
+		if e.dev != nil {
+			sv, err = e.phiSVD(d, p)
+		} else {
+			sv, err = d.TopKSingularValues(p.SVDK, p.Seed)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: sv}, dm, nil
+}
+
+// phiSVD runs distributed Lanczos with each node's local mat-vec offloaded.
+func (e *Engine) phiSVD(d *distlinalg.DistMatrix, p engine.Params) ([]float64, error) {
+	op := &phiATAOperator{e: e, d: d}
+	eig, err := linalg.Lanczos(op, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+	if op.err != nil {
+		return nil, op.err
+	}
+	if err != nil {
+		return nil, err
+	}
+	sv := make([]float64, len(eig.Values))
+	for i, lam := range eig.Values {
+		if lam < 0 {
+			lam = 0
+		}
+		sv[i] = sqrt(lam)
+	}
+	return sv, nil
+}
+
+type phiATAOperator struct {
+	e        *Engine
+	d        *distlinalg.DistMatrix
+	resident bool // matrix blocks already copied to the devices
+	err      error
+}
+
+func (o *phiATAOperator) Dim() int { return o.d.Cols }
+
+func (o *phiATAOperator) Apply(x []float64) []float64 {
+	d := o.d
+	z := make([]float64, d.Cols)
+	if o.err != nil {
+		return z
+	}
+	partials := make([][]float64, len(d.Parts))
+	for i, part := range d.Parts {
+		i, part := i, part
+		// The matrix block transfers to device memory once and stays
+		// resident across Lanczos iterations (as MKL automatic offload keeps
+		// it); only the x and z vectors cross the PCIe link per iteration.
+		inBytes := int64(d.Cols) * 8
+		if !o.resident {
+			inBytes += int64(part.Rows) * int64(part.Cols) * 8
+		}
+		if err := o.e.execKernel(i, xeonphi.KindLanczos, inBytes, int64(d.Cols)*8, func() error {
+			local := make([]float64, d.Cols)
+			for r := 0; r < part.Rows; r++ {
+				row := part.Row(r)
+				yi := linalg.Dot(row, x)
+				linalg.Axpy(yi, row, local)
+			}
+			partials[i] = local
+			return nil
+		}); err != nil {
+			o.err = err
+			return z
+		}
+	}
+	o.resident = true
+	d.C.AllReduce(int64(d.Cols) * 8)
+	if err := d.C.Exec(0, func() error {
+		for _, p := range partials {
+			for j, v := range p {
+				z[j] += v
+			}
+		}
+		return nil
+	}); err != nil {
+		o.err = err
+	}
+	d.C.Barrier()
+	return z
+}
+
+func (e *Engine) statistics(ctx context.Context, p engine.Params) (any, float64, error) {
+	step := p.SamplePatientStep()
+	// Local partial sums over each node's sampled patients.
+	partials := make([][]float64, e.c.Nodes())
+	for n := 0; n < e.c.Nodes(); n++ {
+		n := n
+		if err := engine.CheckCtx(ctx); err != nil {
+			return nil, 0, err
+		}
+		if err := e.c.Exec(n, func() error {
+			local := e.localPatients(n, func(pid int) bool { return pid%step == 0 })
+			m := e.localPivot(n, local, allGeneIDs(e.numGenes))
+			s := make([]float64, e.numGenes)
+			for r := 0; r < m.Rows; r++ {
+				row := m.Row(r)
+				for j, v := range row {
+					s[j] += v
+				}
+			}
+			partials[n] = s
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+	}
+	e.c.Gather(0, int64(e.numGenes)*8)
+	sampled := (e.numPats + step - 1) / step
+	means := make([]float64, e.numGenes)
+	if err := e.c.Exec(0, func() error {
+		for _, part := range partials {
+			for j, v := range part {
+				means[j] += v
+			}
+		}
+		for j := range means {
+			means[j] /= float64(sampled)
+		}
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	e.c.Barrier()
+	dm := e.c.MakespanSeconds()
+
+	members := make([][]int32, e.numTerms)
+	for g := 0; g < e.numGenes; g++ {
+		row := e.goArr[g*e.numTerms : (g+1)*e.numTerms]
+		for t, b := range row {
+			if b == 1 {
+				members[t] = append(members[t], int32(g))
+			}
+		}
+	}
+	var ans *engine.StatsAnswer
+	inBytes := int64(e.numGenes)*8 + int64(len(e.goArr))
+	err := e.execKernel(0, xeonphi.KindRank, inBytes, int64(e.numTerms)*16, func() error {
+		var kerr error
+		ans, kerr = engine.EnrichmentTest(ctx, means, members, sampled)
+		return kerr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ans, dm, nil
+}

@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeRow serializes a row for slotted-page storage: int64 and float64 as
+// 8 little-endian bytes, strings as uint16 length + bytes. The schema is not
+// stored — the heap file's catalog entry carries it.
+func EncodeRow(schema Schema, r Row, buf []byte) []byte {
+	for i, col := range schema {
+		switch col.Kind {
+		case KindInt64:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(r[i].I))
+			buf = append(buf, b[:]...)
+		case KindFloat64:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(r[i].F))
+			buf = append(buf, b[:]...)
+		case KindString:
+			s := r[i].S
+			if len(s) > math.MaxUint16 {
+				panic("relation: string too long to encode")
+			}
+			var b [2]byte
+			binary.LittleEndian.PutUint16(b[:], uint16(len(s)))
+			buf = append(buf, b[:]...)
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+// DecodeRow parses a record produced by EncodeRow. The destination row is
+// reused if it has the right arity.
+func DecodeRow(schema Schema, data []byte, dst Row) (Row, error) {
+	if cap(dst) >= len(schema) {
+		dst = dst[:len(schema)]
+	} else {
+		dst = make(Row, len(schema))
+	}
+	off := 0
+	for i, col := range schema {
+		switch col.Kind {
+		case KindInt64:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("relation: truncated int64 at column %d", i)
+			}
+			dst[i] = Value{Kind: KindInt64, I: int64(binary.LittleEndian.Uint64(data[off:]))}
+			off += 8
+		case KindFloat64:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("relation: truncated float64 at column %d", i)
+			}
+			dst[i] = Value{Kind: KindFloat64, F: math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))}
+			off += 8
+		case KindString:
+			if off+2 > len(data) {
+				return nil, fmt.Errorf("relation: truncated string length at column %d", i)
+			}
+			n := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			if off+n > len(data) {
+				return nil, fmt.Errorf("relation: truncated string at column %d", i)
+			}
+			dst[i] = Value{Kind: KindString, S: string(data[off : off+n])}
+			off += n
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("relation: %d trailing bytes after row", len(data)-off)
+	}
+	return dst, nil
+}

@@ -1,0 +1,178 @@
+// Package relation defines the shared relational model used by the row
+// store, column store, and MapReduce engines: typed schemas, values, rows,
+// and in-memory tables, plus the binary row codec the storage layer uses.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates column types.
+type Kind uint8
+
+// Supported column kinds.
+const (
+	KindInt64 Kind = iota
+	KindFloat64
+	KindString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the position of the named column, or −1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColIndex is ColIndex but panics on a missing column — schema references
+// in query plans are programmer errors, not runtime conditions.
+func (s Schema) MustColIndex(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: no column %q in schema %v", name, s))
+	}
+	return i
+}
+
+// Project returns the schema restricted to the named columns, in order.
+func (s Schema) Project(names ...string) Schema {
+	out := make(Schema, len(names))
+	for i, n := range names {
+		out[i] = s[s.MustColIndex(n)]
+	}
+	return out
+}
+
+// Value is a compact tagged union. Exactly one of I/F/S is meaningful,
+// selected by Kind.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// IntVal makes an int64 value.
+func IntVal(v int64) Value { return Value{Kind: KindInt64, I: v} }
+
+// FloatVal makes a float64 value.
+func FloatVal(v float64) Value { return Value{Kind: KindFloat64, F: v} }
+
+// StrVal makes a string value.
+func StrVal(v string) Value { return Value{Kind: KindString, S: v} }
+
+// Equal reports deep equality (kind and payload).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt64:
+		return v.I == o.I
+	case KindFloat64:
+		return v.F == o.F
+	default:
+		return v.S == o.S
+	}
+}
+
+// Less orders values of the same kind (used by the sort operator).
+func (v Value) Less(o Value) bool {
+	switch v.Kind {
+	case KindInt64:
+		return v.I < o.I
+	case KindFloat64:
+		return v.F < o.F
+	default:
+		return v.S < o.S
+	}
+}
+
+// AsFloat converts numeric values to float64 (strings parse or yield 0).
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt64:
+		return float64(v.I)
+	case KindFloat64:
+		return v.F
+	default:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	}
+}
+
+// String renders the value for export formats (text COPY).
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt64:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.S
+	}
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Clone deep-copies a row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an in-memory relation.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// Append adds a row after checking arity and kinds.
+func (t *Table) Append(r Row) {
+	if len(r) != len(t.Schema) {
+		panic(fmt.Sprintf("relation: row arity %d vs schema %d", len(r), len(t.Schema)))
+	}
+	for i, v := range r {
+		if v.Kind != t.Schema[i].Kind {
+			panic(fmt.Sprintf("relation: column %s kind %v got %v", t.Schema[i].Name, t.Schema[i].Kind, v.Kind))
+		}
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }

@@ -1,0 +1,172 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaColIndex(t *testing.T) {
+	s := Schema{{"a", KindInt64}, {"b", KindFloat64}}
+	if s.ColIndex("b") != 1 || s.ColIndex("z") != -1 {
+		t.Fatal("ColIndex wrong")
+	}
+	if s.MustColIndex("a") != 0 {
+		t.Fatal("MustColIndex wrong")
+	}
+}
+
+func TestMustColIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Schema{{"a", KindInt64}}.MustColIndex("missing")
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := Schema{{"a", KindInt64}, {"b", KindFloat64}, {"c", KindString}}
+	p := s.Project("c", "a")
+	if len(p) != 2 || p[0].Name != "c" || p[1].Name != "a" {
+		t.Fatalf("projected %v", p)
+	}
+}
+
+func TestValueEqualLess(t *testing.T) {
+	if !IntVal(3).Equal(IntVal(3)) || IntVal(3).Equal(IntVal(4)) {
+		t.Fatal("int equality")
+	}
+	if IntVal(3).Equal(FloatVal(3)) {
+		t.Fatal("cross-kind values are never equal")
+	}
+	if !IntVal(1).Less(IntVal(2)) || !FloatVal(1.5).Less(FloatVal(2.5)) || !StrVal("a").Less(StrVal("b")) {
+		t.Fatal("ordering")
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	if IntVal(4).AsFloat() != 4 || FloatVal(2.5).AsFloat() != 2.5 {
+		t.Fatal("numeric conversion")
+	}
+	if StrVal("3.25").AsFloat() != 3.25 || StrVal("junk").AsFloat() != 0 {
+		t.Fatal("string conversion")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if IntVal(-7).String() != "-7" || StrVal("x").String() != "x" {
+		t.Fatal("string rendering")
+	}
+	if FloatVal(0.5).String() != "0.5" {
+		t.Fatalf("float rendering: %s", FloatVal(0.5).String())
+	}
+}
+
+func TestTableAppendChecksKinds(t *testing.T) {
+	tb := NewTable("t", Schema{{"a", KindInt64}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	tb.Append(Row{FloatVal(1)})
+}
+
+func TestTableAppendChecksArity(t *testing.T) {
+	tb := NewTable("t", Schema{{"a", KindInt64}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	tb.Append(Row{IntVal(1), IntVal(2)})
+}
+
+func TestTableAppendAndLen(t *testing.T) {
+	tb := NewTable("t", Schema{{"a", KindInt64}, {"s", KindString}})
+	tb.Append(Row{IntVal(1), StrVal("x")})
+	tb.Append(Row{IntVal(2), StrVal("y")})
+	if tb.Len() != 2 || tb.Rows[1][1].S != "y" {
+		t.Fatal("append failed")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{IntVal(1)}
+	c := r.Clone()
+	c[0] = IntVal(9)
+	if r[0].I != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestCodecRoundTripFixed(t *testing.T) {
+	s := Schema{{"id", KindInt64}, {"v", KindFloat64}, {"name", KindString}}
+	r := Row{IntVal(-42), FloatVal(3.14159), StrVal("héllo")}
+	buf := EncodeRow(s, r, nil)
+	got, err := DecodeRow(s, buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r {
+		if !got[i].Equal(r[i]) {
+			t.Fatalf("column %d: %v vs %v", i, got[i], r[i])
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary rows.
+func TestCodecRoundTripProperty(t *testing.T) {
+	s := Schema{{"a", KindInt64}, {"b", KindFloat64}, {"c", KindString}, {"d", KindInt64}}
+	f := func(a int64, b float64, c string, d int64) bool {
+		if len(c) > 60000 {
+			c = c[:60000]
+		}
+		r := Row{IntVal(a), FloatVal(b), StrVal(c), IntVal(d)}
+		buf := EncodeRow(s, r, nil)
+		got, err := DecodeRow(s, buf, nil)
+		if err != nil {
+			return false
+		}
+		// NaN float payloads round-trip bit-exactly but don't compare equal;
+		// compare via String to sidestep NaN != NaN.
+		for i := range r {
+			if !got[i].Equal(r[i]) && got[i].String() != r[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRowTruncated(t *testing.T) {
+	s := Schema{{"a", KindInt64}}
+	if _, err := DecodeRow(s, []byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestDecodeRowTrailingGarbage(t *testing.T) {
+	s := Schema{{"a", KindInt64}}
+	buf := EncodeRow(s, Row{IntVal(1)}, nil)
+	buf = append(buf, 0xff)
+	if _, err := DecodeRow(s, buf, nil); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestDecodeRowReusesDst(t *testing.T) {
+	s := Schema{{"a", KindInt64}}
+	buf := EncodeRow(s, Row{IntVal(5)}, nil)
+	dst := make(Row, 1)
+	got, err := DecodeRow(s, buf, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("expected dst reuse")
+	}
+}

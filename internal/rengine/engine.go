@@ -1,0 +1,402 @@
+package rengine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/genbase/genbase/internal/bicluster"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+// DefaultMaxCells models R's memory wall at our 1/20 data scale: the medium
+// preset (1000×750 plus triples) fits, the large preset (2000×1500 = 3 M
+// matrix cells + 9 M triple cells) does not — reproducing the paper's
+// "Vanilla R cannot scale to the large dataset".
+const DefaultMaxCells = 8_000_000
+
+// Engine is the Vanilla R configuration.
+type Engine struct {
+	// MaxCells caps the total number of dataframe/matrix cells resident at
+	// once. 0 means DefaultMaxCells; negative means unlimited.
+	MaxCells int64
+
+	ds    *datagen.Dataset
+	micro *Frame // gene, patient, value triples (relational form, §3.1.1)
+	pats  *Frame
+	genes *Frame
+	goTri *Frame // gene, term sparse membership triples
+}
+
+// New creates an unloaded engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "vanilla-r" }
+
+// Supports implements engine.Engine: R runs all five queries.
+func (e *Engine) Supports(engine.QueryID) bool { return true }
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error { return nil }
+
+func (e *Engine) maxCells() int64 {
+	if e.MaxCells == 0 {
+		return DefaultMaxCells
+	}
+	if e.MaxCells < 0 {
+		return 1 << 62
+	}
+	return e.MaxCells
+}
+
+// Load ingests the dataset as dataframes in the paper's relational form. The
+// microarray becomes (gene, patient, value) triples, exactly what R's merge
+// and reshape operate on; exceeding the cell budget fails the load, as R
+// does on the large dataset.
+func (e *Engine) Load(ds *datagen.Dataset) error {
+	p, g := ds.Dims.Patients, ds.Dims.Genes
+	triples := int64(p) * int64(g)
+	// Triples (3 cells each) plus the dense matrix the queries will pivot
+	// into must fit.
+	if triples*3+triples > e.maxCells() {
+		return fmt.Errorf("%w: %d cells needed, limit %d", engine.ErrOutOfMemory, triples*4, e.maxCells())
+	}
+	e.ds = ds
+
+	geneCol := make([]int64, triples)
+	patCol := make([]int64, triples)
+	valCol := make([]float64, triples)
+	k := 0
+	for pi := 0; pi < p; pi++ {
+		row := ds.Expression.Row(pi)
+		for gi, v := range row {
+			geneCol[k] = int64(gi)
+			patCol[k] = int64(pi)
+			valCol[k] = v
+			k++
+		}
+	}
+	e.micro = NewFrame(int(triples)).AddInt("geneid", geneCol).AddInt("patientid", patCol).AddFloat("value", valCol)
+
+	ids := make([]int64, p)
+	ages := make([]int64, p)
+	genders := make([]int64, p)
+	diseases := make([]int64, p)
+	resp := make([]float64, p)
+	for i, pt := range ds.Patients {
+		ids[i] = int64(pt.ID)
+		ages[i] = int64(pt.Age)
+		genders[i] = int64(pt.Gender)
+		diseases[i] = int64(pt.DiseaseID)
+		resp[i] = pt.DrugResponse
+	}
+	e.pats = NewFrame(p).AddInt("patientid", ids).AddInt("age", ages).
+		AddInt("gender", genders).AddInt("diseaseid", diseases).AddFloat("drugresponse", resp)
+
+	gids := make([]int64, g)
+	fns := make([]int64, g)
+	targets := make([]int64, g)
+	for i, gn := range ds.Genes {
+		gids[i] = int64(gn.ID)
+		fns[i] = int64(gn.Function)
+		targets[i] = int64(gn.Target)
+	}
+	e.genes = NewFrame(g).AddInt("geneid", gids).AddInt("function", fns).AddInt("target", targets)
+
+	var goGene, goTerm []int64
+	for gi := 0; gi < g; gi++ {
+		for t := 0; t < ds.Dims.GOTerms; t++ {
+			if ds.GOAt(gi, t) == 1 {
+				goGene = append(goGene, int64(gi))
+				goTerm = append(goTerm, int64(t))
+			}
+		}
+	}
+	e.goTri = NewFrame(len(goGene)).AddInt("geneid", goGene).AddInt("goid", goTerm)
+	return nil
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
+	if e.ds == nil {
+		return nil, fmt.Errorf("rengine: not loaded")
+	}
+	switch q {
+	case engine.Q1Regression:
+		return e.regression(ctx, p)
+	case engine.Q2Covariance:
+		return e.covariance(ctx, p)
+	case engine.Q3Biclustering:
+		return e.biclustering(ctx, p)
+	case engine.Q4SVD:
+		return e.svd(ctx, p)
+	case engine.Q5Statistics:
+		return e.statistics(ctx, p)
+	default:
+		return nil, engine.ErrUnsupported
+	}
+}
+
+// selectGenes applies the Q1/Q4 metadata predicate, returning ascending ids.
+func (e *Engine) selectGenes(threshold int64) []int64 {
+	fn := e.genes.Int("function")
+	gid := e.genes.Int("geneid")
+	var out []int64
+	for i, f := range fn {
+		if f < threshold {
+			out = append(out, gid[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// pivotGenes restructures the microarray triples into a dense matrix holding
+// the given genes (columns, in the given order) for the given patients (rows,
+// ascending id order). This is the paper's "restructure the information as a
+// matrix" step, R's reshape/acast.
+func (e *Engine) pivotGenes(ctx context.Context, patientIdx map[int64]int, nPat int, geneIdx map[int64]int) (*linalg.Matrix, error) {
+	m := linalg.NewMatrix(nPat, len(geneIdx))
+	gc := e.micro.Int("geneid")
+	pc := e.micro.Int("patientid")
+	vc := e.micro.Float("value")
+	for k := range vc {
+		if k%65536 == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
+		gi, ok := geneIdx[gc[k]]
+		if !ok {
+			continue
+		}
+		pi, ok := patientIdx[pc[k]]
+		if !ok {
+			continue
+		}
+		m.Set(pi, gi, vc[k])
+	}
+	return m, nil
+}
+
+func allPatientsIndex(n int) map[int64]int {
+	idx := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		idx[int64(i)] = i
+	}
+	return idx
+}
+
+func indexOf(ids []int64) map[int64]int {
+	idx := make(map[int64]int, len(ids))
+	for i, v := range ids {
+		idx[v] = i
+	}
+	return idx
+}
+
+func (e *Engine) checkMatrixBudget(rows, cols int) error {
+	if int64(rows)*int64(cols) > e.maxCells() {
+		return fmt.Errorf("%w: pivot of %d×%d cells", engine.ErrOutOfMemory, rows, cols)
+	}
+	return nil
+}
+
+func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	genes := e.selectGenes(p.FunctionThreshold)
+	if len(genes) == 0 {
+		return nil, fmt.Errorf("rengine: no genes pass function < %d", p.FunctionThreshold)
+	}
+	nPat := e.pats.Len()
+	if err := e.checkMatrixBudget(nPat, len(genes)+1); err != nil {
+		return nil, err
+	}
+	x, err := e.pivotGenes(ctx, allPatientsIndex(nPat), nPat, indexOf(genes))
+	if err != nil {
+		return nil, err
+	}
+	y := e.pats.Float("drugresponse")
+
+	sw.StartAnalytics()
+	fit, err := linalg.LeastSquares(linalg.AddInterceptColumn(x), y)
+	if err != nil {
+		return nil, err
+	}
+	sw.Stop()
+
+	sel := make([]int, len(genes))
+	for i, g := range genes {
+		sel[i] = int(g)
+	}
+	return &engine.Result{
+		Query:  engine.Q1Regression,
+		Timing: sw.Timing(),
+		Answer: &engine.RegressionAnswer{
+			Coefficients:  fit.Coefficients,
+			RSquared:      fit.RSquared,
+			SelectedGenes: sel,
+			NumPatients:   nPat,
+		},
+	}, nil
+}
+
+// funcLookup adapts the genes frame to engine.GeneMeta.
+type funcLookup struct{ fn []int64 }
+
+func (f funcLookup) FunctionOf(g int) int64 { return f.fn[g] }
+
+func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	dis := e.pats.Int("diseaseid")
+	pid := e.pats.Int("patientid")
+	var sel []int64
+	for i, d := range dis {
+		if d == p.DiseaseID {
+			sel = append(sel, pid[i])
+		}
+	}
+	if len(sel) < 2 {
+		return nil, fmt.Errorf("rengine: fewer than two patients with disease %d", p.DiseaseID)
+	}
+	g := e.genes.Len()
+	if err := e.checkMatrixBudget(len(sel), g); err != nil {
+		return nil, err
+	}
+	geneIdx := allPatientsIndex(g) // identity index over genes
+	x, err := e.pivotGenes(ctx, indexOf(sel), len(sel), geneIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	sw.StartAnalytics()
+	if int64(g)*int64(g) > e.maxCells() {
+		return nil, fmt.Errorf("%w: %d×%d covariance matrix", engine.ErrOutOfMemory, g, g)
+	}
+	cov := linalg.Covariance(x)
+	sw.StartDM()
+	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{e.genes.Int("function")}, len(sel))
+	sw.Stop()
+	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
+}
+
+func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	age := e.pats.Int("age")
+	gender := e.pats.Int("gender")
+	pid := e.pats.Int("patientid")
+	var sel []int64
+	for i := range age {
+		if gender[i] == int64(p.Gender) && age[i] < p.MaxAge {
+			sel = append(sel, pid[i])
+		}
+	}
+	if len(sel) < 4 {
+		return nil, fmt.Errorf("rengine: only %d patients pass the Q3 filter", len(sel))
+	}
+	g := e.genes.Len()
+	if err := e.checkMatrixBudget(len(sel), g); err != nil {
+		return nil, err
+	}
+	x, err := e.pivotGenes(ctx, indexOf(sel), len(sel), allPatientsIndex(g))
+	if err != nil {
+		return nil, err
+	}
+
+	sw.StartAnalytics()
+	blocks, err := bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	sw.Stop()
+	return &engine.Result{
+		Query:  engine.Q3Biclustering,
+		Timing: sw.Timing(),
+		Answer: engine.BiclusterAnswerFromBlocks(blocks, sel),
+	}, nil
+}
+
+func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	genes := e.selectGenes(p.FunctionThreshold)
+	if len(genes) == 0 {
+		return nil, fmt.Errorf("rengine: no genes pass function < %d", p.FunctionThreshold)
+	}
+	nPat := e.pats.Len()
+	if err := e.checkMatrixBudget(nPat, len(genes)); err != nil {
+		return nil, err
+	}
+	a, err := e.pivotGenes(ctx, allPatientsIndex(nPat), nPat, indexOf(genes))
+	if err != nil {
+		return nil, err
+	}
+
+	sw.StartAnalytics()
+	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	sw.Stop()
+	return &engine.Result{
+		Query:  engine.Q4SVD,
+		Timing: sw.Timing(),
+		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: svd.SingularValues},
+	}, nil
+}
+
+func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	step := p.SamplePatientStep()
+	nPat := e.pats.Len()
+	var sampled []int64
+	for i := 0; i < nPat; i += step {
+		sampled = append(sampled, int64(i))
+	}
+	// Mean expression per gene over the sampled patients, straight from the
+	// triples (an R aggregate over the merged selection).
+	g := e.genes.Len()
+	sums := make([]float64, g)
+	inSample := make(map[int64]bool, len(sampled))
+	for _, s := range sampled {
+		inSample[s] = true
+	}
+	gc := e.micro.Int("geneid")
+	pc := e.micro.Int("patientid")
+	vc := e.micro.Float("value")
+	for k := range vc {
+		if k%65536 == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if inSample[pc[k]] {
+			sums[gc[k]] += vc[k]
+		}
+	}
+	for j := range sums {
+		sums[j] /= float64(len(sampled))
+	}
+	// Group GO membership triples by term: the join side of the enrichment.
+	members := make([][]int32, e.ds.Dims.GOTerms)
+	goGene := e.goTri.Int("geneid")
+	goTerm := e.goTri.Int("goid")
+	for k := range goGene {
+		members[goTerm[k]] = append(members[goTerm[k]], int32(goGene[k]))
+	}
+
+	sw.StartAnalytics()
+	ans, err := engine.EnrichmentTest(ctx, sums, members, len(sampled))
+	if err != nil {
+		return nil, err
+	}
+	sw.Stop()
+	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
+}

@@ -1,0 +1,62 @@
+package rengine
+
+import "testing"
+
+func demoFrame() *Frame {
+	return NewFrame(4).
+		AddInt("id", []int64{0, 1, 2, 3}).
+		AddFloat("v", []float64{0.5, 1.5, 2.5, 3.5})
+}
+
+func TestFrameColumns(t *testing.T) {
+	f := demoFrame()
+	if f.Len() != 4 {
+		t.Fatalf("len=%d", f.Len())
+	}
+	if f.Int("id")[2] != 2 || f.Float("v")[3] != 3.5 {
+		t.Fatal("column access")
+	}
+}
+
+func TestFrameMissingColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	demoFrame().Int("nope")
+}
+
+func TestFrameLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFrame(3).AddInt("x", []int64{1})
+}
+
+func TestFrameWhichAndSubset(t *testing.T) {
+	f := demoFrame()
+	idx := f.Which(func(i int) bool { return f.Int("id")[i]%2 == 0 })
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("which=%v", idx)
+	}
+	sub := f.Subset(idx)
+	if sub.Len() != 2 || sub.Float("v")[1] != 2.5 {
+		t.Fatalf("subset wrong: %v", sub.Float("v"))
+	}
+	// Subset must copy: mutating it leaves the original intact.
+	sub.Int("id")[0] = 99
+	if f.Int("id")[0] != 0 {
+		t.Fatal("subset aliases parent")
+	}
+}
+
+func TestFrameSemiJoin(t *testing.T) {
+	f := demoFrame()
+	idx := f.SemiJoinInt("id", map[int64]bool{1: true, 3: true})
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("semijoin=%v", idx)
+	}
+}

@@ -1,0 +1,316 @@
+package rowstore
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/genbase/genbase/internal/analytics"
+	"github.com/genbase/genbase/internal/bicluster"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/relation"
+)
+
+// Mode selects the analytics configuration.
+type Mode int
+
+// The two Postgres configurations from the paper (§4.1, configurations 2–3).
+const (
+	// ModeR exports query results to an external R process (text COPY).
+	ModeR Mode = iota
+	// ModeMadlib runs analytics inside the database: native UDFs where
+	// Madlib has C++ implementations, SQL/plpython simulation elsewhere.
+	ModeMadlib
+)
+
+// Engine is the row-store system under test.
+type Engine struct {
+	mode Mode
+	dir  string
+	db   *DB
+	glue analytics.Glue
+
+	numPatients, numGenes, numTerms int
+}
+
+// New creates a row-store engine rooted at dir.
+func New(dir string, mode Mode) *Engine {
+	return &Engine{mode: mode, dir: dir, glue: analytics.TextGlue{}}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	if e.mode == ModeMadlib {
+		return "postgres-madlib"
+	}
+	return "postgres-r"
+}
+
+// Supports implements engine.Engine. Madlib lacks a biclustering routine
+// ("Hadoop and Postgres + Madlib do not provide sufficient analytics
+// functions to run the biclustering query").
+func (e *Engine) Supports(q engine.QueryID) bool {
+	if e.mode == ModeMadlib && q == engine.Q3Biclustering {
+		return false
+	}
+	return true
+}
+
+// Load implements engine.Engine.
+func (e *Engine) Load(ds *datagen.Dataset) error {
+	db, err := OpenDB(e.dir)
+	if err != nil {
+		return err
+	}
+	if err := db.LoadDataset(ds); err != nil {
+		db.Close()
+		return err
+	}
+	e.db = db
+	e.numPatients = ds.Dims.Patients
+	e.numGenes = ds.Dims.Genes
+	e.numTerms = ds.Dims.GOTerms
+	return nil
+}
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	if e.db == nil {
+		return nil
+	}
+	return e.db.Close()
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
+	if e.db == nil {
+		return nil, fmt.Errorf("rowstore: not loaded")
+	}
+	if !e.Supports(q) {
+		return nil, engine.ErrUnsupported
+	}
+	switch q {
+	case engine.Q1Regression:
+		return e.regression(ctx, p)
+	case engine.Q2Covariance:
+		return e.covariance(ctx, p)
+	case engine.Q3Biclustering:
+		return e.biclustering(ctx, p)
+	case engine.Q4SVD:
+		return e.svd(ctx, p)
+	case engine.Q5Statistics:
+		return e.statistics(ctx, p)
+	default:
+		return nil, engine.ErrUnsupported
+	}
+}
+
+func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	genes, err := e.selectedGenes(ctx, p.FunctionThreshold)
+	if err != nil {
+		return nil, err
+	}
+	if len(genes) == 0 {
+		return nil, fmt.Errorf("rowstore: no genes pass function < %d", p.FunctionThreshold)
+	}
+	x, err := e.pivotJoin(ctx, genes, nil)
+	if err != nil {
+		return nil, err
+	}
+	y, err := e.drugResponses(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	var fit *linalg.LeastSquaresResult
+	if e.mode == ModeR {
+		sw.StartTransfer()
+		if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
+			return nil, err
+		}
+		if y, err = e.glue.TransferVector(ctx, y); err != nil {
+			return nil, err
+		}
+	}
+	sw.StartAnalytics()
+	// Madlib's linear regression is a native C++ UDF; R's lm is native
+	// LAPACK. Both reduce to the same QR solve here.
+	fit, err = linalg.LeastSquares(linalg.AddInterceptColumn(x), y)
+	if err != nil {
+		return nil, err
+	}
+	sw.Stop()
+
+	sel := make([]int, len(genes))
+	for i, g := range genes {
+		sel[i] = int(g)
+	}
+	return &engine.Result{
+		Query:  engine.Q1Regression,
+		Timing: sw.Timing(),
+		Answer: &engine.RegressionAnswer{
+			Coefficients:  fit.Coefficients,
+			RSquared:      fit.RSquared,
+			SelectedGenes: sel,
+			NumPatients:   e.numPatients,
+		},
+	}, nil
+}
+
+type funcLookup struct{ fns []int64 }
+
+func (f funcLookup) FunctionOf(g int) int64 { return f.fns[g] }
+
+func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	disCol := PatientsSchema.MustColIndex("diseaseid")
+	pats, err := e.selectedPatients(ctx, func(r relation.Row) bool { return r[disCol].I == p.DiseaseID })
+	if err != nil {
+		return nil, err
+	}
+	if len(pats) < 2 {
+		return nil, fmt.Errorf("rowstore: fewer than two patients with disease %d", p.DiseaseID)
+	}
+	x, err := e.pivotJoin(ctx, nil, pats)
+	if err != nil {
+		return nil, err
+	}
+
+	if e.mode == ModeR {
+		sw.StartTransfer()
+		if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
+			return nil, err
+		}
+	}
+	sw.StartAnalytics()
+	cov := linalg.Covariance(x)
+
+	sw.StartDM()
+	fns, err := e.geneFunctions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{fns}, len(pats))
+	sw.Stop()
+	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
+}
+
+func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	ageCol := PatientsSchema.MustColIndex("age")
+	genCol := PatientsSchema.MustColIndex("gender")
+	pats, err := e.selectedPatients(ctx, func(r relation.Row) bool {
+		return r[genCol].I == int64(p.Gender) && r[ageCol].I < p.MaxAge
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(pats) < 4 {
+		return nil, fmt.Errorf("rowstore: only %d patients pass the Q3 filter", len(pats))
+	}
+	x, err := e.pivotJoin(ctx, nil, pats)
+	if err != nil {
+		return nil, err
+	}
+
+	sw.StartTransfer()
+	if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
+		return nil, err
+	}
+	sw.StartAnalytics()
+	blocks, err := bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	sw.Stop()
+	return &engine.Result{
+		Query:  engine.Q3Biclustering,
+		Timing: sw.Timing(),
+		Answer: engine.BiclusterAnswerFromBlocks(blocks, pats),
+	}, nil
+}
+
+func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	genes, err := e.selectedGenes(ctx, p.FunctionThreshold)
+	if err != nil {
+		return nil, err
+	}
+	if len(genes) == 0 {
+		return nil, fmt.Errorf("rowstore: no genes pass function < %d", p.FunctionThreshold)
+	}
+	a, err := e.pivotJoin(ctx, genes, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var sv []float64
+	if e.mode == ModeMadlib {
+		// Madlib SVD "in effect simulate[s] matrix computations in SQL and
+		// plpython": Lanczos runs with every mat-vec as a relational plan.
+		sw.StartAnalytics()
+		sv, err = e.madlibSVD(ctx, a, p.SVDK, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sw.StartTransfer()
+		if a, err = e.glue.TransferMatrix(ctx, a); err != nil {
+			return nil, err
+		}
+		sw.StartAnalytics()
+		svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		sv = svd.SingularValues
+	}
+	sw.Stop()
+	return &engine.Result{
+		Query:  engine.Q4SVD,
+		Timing: sw.Timing(),
+		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: sv},
+	}, nil
+}
+
+func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
+	var sw engine.StopWatch
+	sw.StartDM()
+	means, sampled, err := e.sampleMeans(ctx, p.SamplePatientStep())
+	if err != nil {
+		return nil, err
+	}
+	members, err := e.goMembers(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	var ans *engine.StatsAnswer
+	if e.mode == ModeMadlib {
+		// Wilcoxon has no Madlib native; the ranking and rank-sums run as
+		// relational plans (SQL simulation).
+		sw.StartAnalytics()
+		ans, err = e.madlibWilcoxon(ctx, means, members, sampled)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sw.StartTransfer()
+		if means, err = e.glue.TransferVector(ctx, means); err != nil {
+			return nil, err
+		}
+		sw.StartAnalytics()
+		ans, err = engine.EnrichmentTest(ctx, means, members, sampled)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sw.Stop()
+	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
+}

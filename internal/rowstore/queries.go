@@ -1,0 +1,237 @@
+package rowstore
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/relation"
+)
+
+// The data-management halves of the five queries, expressed as Volcano plans
+// over the heap tables. Both analytics modes share these plans.
+
+// selectedGenes runs σ(function < thr)(genes) and returns ascending gene ids.
+func (e *Engine) selectedGenes(ctx context.Context, thr int64) ([]int64, error) {
+	genes, err := e.db.Table("genes")
+	if err != nil {
+		return nil, err
+	}
+	fnCol := GenesSchema.MustColIndex("function")
+	idCol := GenesSchema.MustColIndex("geneid")
+	plan := &SortOp{
+		Child: &Project{
+			Child: &Filter{
+				Child: &SeqScan{Ctx: ctx, Table: genes},
+				Pred:  func(r relation.Row) bool { return r[fnCol].I < thr },
+			},
+			Cols: []int{idCol},
+		},
+		Less: func(a, b relation.Row) bool { return a[0].I < b[0].I },
+	}
+	var ids []int64
+	if err := Drain(plan, func(r relation.Row) error {
+		ids = append(ids, r[0].I)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// selectedPatients runs σ(pred)(patients) and returns ascending patient ids.
+func (e *Engine) selectedPatients(ctx context.Context, pred func(relation.Row) bool) ([]int64, error) {
+	pats, err := e.db.Table("patients")
+	if err != nil {
+		return nil, err
+	}
+	idCol := PatientsSchema.MustColIndex("patientid")
+	plan := &SortOp{
+		Child: &Project{
+			Child: &Filter{Child: &SeqScan{Ctx: ctx, Table: pats}, Pred: pred},
+			Cols:  []int{idCol},
+		},
+		Less: func(a, b relation.Row) bool { return a[0].I < b[0].I },
+	}
+	var ids []int64
+	if err := Drain(plan, func(r relation.Row) error {
+		ids = append(ids, r[0].I)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// idsTable wraps an id list as a single-column in-memory relation for use as
+// a hash-join build side.
+func idsTable(name string, ids []int64) *relation.Table {
+	t := relation.NewTable(name, relation.Schema{{Name: name, Kind: relation.KindInt64}})
+	for _, id := range ids {
+		t.Rows = append(t.Rows, relation.Row{relation.IntVal(id)})
+	}
+	return t
+}
+
+func indexMap(ids []int64) map[int64]int {
+	m := make(map[int64]int, len(ids))
+	for i, id := range ids {
+		m[id] = i
+	}
+	return m
+}
+
+// pivotJoin joins the microarray table against the given gene and patient id
+// sets (nil set means "all") and restructures the matching triples into a
+// dense matrix — the paper's steps 2–3 (join, then restructure as a matrix).
+func (e *Engine) pivotJoin(ctx context.Context, geneIDs, patientIDs []int64) (*linalg.Matrix, error) {
+	micro, err := e.db.Table("microarray")
+	if err != nil {
+		return nil, err
+	}
+	gCol := MicroarraySchema.MustColIndex("geneid")
+	pCol := MicroarraySchema.MustColIndex("patientid")
+	vCol := MicroarraySchema.MustColIndex("expressionvalue")
+
+	if geneIDs == nil {
+		geneIDs = make([]int64, e.numGenes)
+		for i := range geneIDs {
+			geneIDs[i] = int64(i)
+		}
+	}
+	if patientIDs == nil {
+		patientIDs = make([]int64, e.numPatients)
+		for i := range patientIDs {
+			patientIDs[i] = int64(i)
+		}
+	}
+	gIdx := indexMap(geneIDs)
+	pIdx := indexMap(patientIDs)
+
+	// Planner choice: when the patient predicate is selective and the fact
+	// table has a patientid index, a bitmap index scan fetches only the
+	// matching tuples; otherwise a full sequential scan feeds a hash join on
+	// the gene set, with the patient set as a residual filter.
+	var probe Iterator
+	if idx := micro.Index("patientid"); idx != nil && len(patientIDs)*10 < e.numPatients {
+		probe = &BitmapScan{Ctx: ctx, Table: micro, RIDs: idx.CollectRIDs(patientIDs)}
+	} else {
+		probe = &SeqScan{Ctx: ctx, Table: micro}
+	}
+	var plan Iterator = &HashJoin{
+		Build:    &MemScan{Table: idsTable("geneid", geneIDs)},
+		Probe:    probe,
+		BuildKey: 0,
+		ProbeKey: gCol,
+	}
+	m := linalg.NewMatrix(len(patientIDs), len(geneIDs))
+	err = Drain(plan, func(r relation.Row) error {
+		pi, ok := pIdx[r[pCol].I]
+		if !ok {
+			return nil
+		}
+		gi := gIdx[r[gCol].I] // join guarantees membership
+		m.Set(pi, gi, r[vCol].F)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// drugResponses scans the patients table projecting drug response in
+// patient-id order.
+func (e *Engine) drugResponses(ctx context.Context) ([]float64, error) {
+	pats, err := e.db.Table("patients")
+	if err != nil {
+		return nil, err
+	}
+	idCol := PatientsSchema.MustColIndex("patientid")
+	respCol := PatientsSchema.MustColIndex("drugresponse")
+	y := make([]float64, e.numPatients)
+	err = Drain(&SeqScan{Ctx: ctx, Table: pats}, func(r relation.Row) error {
+		y[r[idCol].I] = r[respCol].F
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// geneFunctions scans gene metadata into a dense lookup (the Q2 step-4 join
+// side).
+func (e *Engine) geneFunctions(ctx context.Context) ([]int64, error) {
+	genes, err := e.db.Table("genes")
+	if err != nil {
+		return nil, err
+	}
+	idCol := GenesSchema.MustColIndex("geneid")
+	fnCol := GenesSchema.MustColIndex("function")
+	fns := make([]int64, e.numGenes)
+	err = Drain(&SeqScan{Ctx: ctx, Table: genes}, func(r relation.Row) error {
+		fns[r[idCol].I] = r[fnCol].I
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fns, nil
+}
+
+// sampleMeans computes per-gene mean expression over the deterministic Q5
+// patient sample with a filter + hash aggregate plan.
+func (e *Engine) sampleMeans(ctx context.Context, step int) ([]float64, int, error) {
+	micro, err := e.db.Table("microarray")
+	if err != nil {
+		return nil, 0, err
+	}
+	gCol := MicroarraySchema.MustColIndex("geneid")
+	pCol := MicroarraySchema.MustColIndex("patientid")
+	vCol := MicroarraySchema.MustColIndex("expressionvalue")
+	plan := &HashAgg{
+		Child: &Filter{
+			Child: &SeqScan{Ctx: ctx, Table: micro},
+			Pred:  func(r relation.Row) bool { return r[pCol].I%int64(step) == 0 },
+		},
+		Key:  gCol,
+		Aggs: []AggSpec{{Col: vCol, Kind: AggAvg}},
+	}
+	means := make([]float64, e.numGenes)
+	if err := Drain(plan, func(r relation.Row) error {
+		means[r[0].I] = r[1].F
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	sampled := (e.numPatients + step - 1) / step
+	return means, sampled, nil
+}
+
+// goMembers groups the GO table by term (the Q5 step-2 join input).
+func (e *Engine) goMembers(ctx context.Context) ([][]int32, error) {
+	gotab, err := e.db.Table("go")
+	if err != nil {
+		return nil, err
+	}
+	gCol := GOSchema.MustColIndex("geneid")
+	tCol := GOSchema.MustColIndex("goid")
+	bCol := GOSchema.MustColIndex("belongs")
+	members := make([][]int32, e.numTerms)
+	err = Drain(&SeqScan{Ctx: ctx, Table: gotab}, func(r relation.Row) error {
+		if r[bCol].I != 1 {
+			return nil
+		}
+		t := r[tCol].I
+		if t < 0 || t >= int64(e.numTerms) {
+			return fmt.Errorf("rowstore: GO term %d out of range", t)
+		}
+		members[t] = append(members[t], int32(r[gCol].I))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return members, nil
+}

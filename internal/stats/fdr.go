@@ -1,0 +1,31 @@
+package stats
+
+import "sort"
+
+// BenjaminiHochberg converts p-values to FDR-adjusted q-values (the standard
+// multiple-testing correction for enrichment screens: Q5 tests hundreds of
+// GO terms at once, so raw p-values overstate significance). The returned
+// slice is parallel to ps: q[i] = min over j with p(j) ≥ p(i) of
+// p(j)·m/rank(j), clamped to 1.
+func BenjaminiHochberg(ps []float64) []float64 {
+	m := len(ps)
+	if m == 0 {
+		return nil
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+	q := make([]float64, m)
+	minSoFar := 1.0
+	for r := m - 1; r >= 0; r-- {
+		i := idx[r]
+		v := ps[i] * float64(m) / float64(r+1)
+		if v < minSoFar {
+			minSoFar = v
+		}
+		q[i] = minSoFar
+	}
+	return q
+}

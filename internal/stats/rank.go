@@ -1,0 +1,57 @@
+// Package stats implements the statistical routines GenBase's Q5 (gene-set
+// enrichment) relies on: mid-rank ranking with tie handling, the Wilcoxon
+// rank-sum test with normal approximation and tie correction, and the normal
+// distribution helpers they require. It stands in for R's stats package.
+package stats
+
+import "sort"
+
+// Ranks returns the 1-based mid-ranks of xs: tied values receive the average
+// of the ranks they would span. This is the standard ranking used by the
+// Wilcoxon test (and by R's rank()).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share mid-rank (i+1 + j+1)/2.
+		mid := float64(i+j+2) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// TieGroups returns the size of every group of tied values in xs with size
+// greater than one. Used for the Wilcoxon variance tie correction.
+func TieGroups(xs []float64) []int {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var groups []int
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && sorted[j+1] == sorted[i] {
+			j++
+		}
+		if j > i {
+			groups = append(groups, j-i+1)
+		}
+		i = j + 1
+	}
+	return groups
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// WilcoxonResult reports a two-sample Wilcoxon rank-sum (Mann–Whitney) test.
+type WilcoxonResult struct {
+	W float64 // rank-sum statistic of the first group
+	U float64 // Mann–Whitney U for the first group
+	Z float64 // normal approximation z-score (continuity corrected)
+	P float64 // two-sided p-value
+}
+
+// ErrEmptyGroup is returned when either sample is empty.
+var ErrEmptyGroup = errors.New("stats: wilcoxon requires both groups non-empty")
+
+// WilcoxonRankSum tests whether group x tends to rank higher or lower than
+// group y, using the normal approximation with tie correction and continuity
+// correction. This is Q5's enrichment test: x holds the ranks-source values
+// of genes inside a GO term, y those outside.
+func WilcoxonRankSum(x, y []float64) (*WilcoxonResult, error) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return nil, ErrEmptyGroup
+	}
+	all := make([]float64, 0, n1+n2)
+	all = append(all, x...)
+	all = append(all, y...)
+	ranks := Ranks(all)
+	w := 0.0
+	for i := 0; i < n1; i++ {
+		w += ranks[i]
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	n := fn1 + fn2
+	u := w - fn1*(fn1+1)/2
+	meanU := fn1 * fn2 / 2
+	// Variance with tie correction: n1·n2/12 · (n+1 − Σ(t³−t)/(n(n−1))).
+	tieSum := 0.0
+	for _, t := range TieGroups(all) {
+		ft := float64(t)
+		tieSum += ft*ft*ft - ft
+	}
+	varU := fn1 * fn2 / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	res := &WilcoxonResult{W: w, U: u}
+	if varU <= 0 {
+		// All values identical: no evidence either way.
+		res.Z = 0
+		res.P = 1
+		return res, nil
+	}
+	diff := u - meanU
+	// Continuity correction toward the mean.
+	switch {
+	case diff > 0.5:
+		diff -= 0.5
+	case diff < -0.5:
+		diff += 0.5
+	default:
+		diff = 0
+	}
+	res.Z = diff / math.Sqrt(varU)
+	res.P = TwoSidedP(res.Z)
+	return res, nil
+}
+
+// WilcoxonFromRanks runs the test when mid-ranks over the combined population
+// are already known: inRanks are the ranks of the in-group items, n the total
+// population size, and ties the tie-group sizes of the full population. The
+// engines use this form so that genes are ranked once and then tested against
+// every GO term (the paper's step 3–4 of Q5).
+func WilcoxonFromRanks(inRanks []float64, n int, ties []int) (*WilcoxonResult, error) {
+	n1 := len(inRanks)
+	n2 := n - n1
+	if n1 == 0 || n2 <= 0 {
+		return nil, ErrEmptyGroup
+	}
+	w := 0.0
+	for _, r := range inRanks {
+		w += r
+	}
+	fn1, fn2, fn := float64(n1), float64(n2), float64(n)
+	u := w - fn1*(fn1+1)/2
+	meanU := fn1 * fn2 / 2
+	tieSum := 0.0
+	for _, t := range ties {
+		ft := float64(t)
+		tieSum += ft*ft*ft - ft
+	}
+	varU := fn1 * fn2 / 12 * ((fn + 1) - tieSum/(fn*(fn-1)))
+	res := &WilcoxonResult{W: w, U: u}
+	if varU <= 0 {
+		res.Z = 0
+		res.P = 1
+		return res, nil
+	}
+	diff := u - meanU
+	switch {
+	case diff > 0.5:
+		diff -= 0.5
+	case diff < -0.5:
+		diff += 0.5
+	default:
+		diff = 0
+	}
+	res.Z = diff / math.Sqrt(varU)
+	res.P = TwoSidedP(res.Z)
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// BufferPool caches pages of a single file with LRU replacement. It is the
+// gatekeeper for all page access: engines fetch, use, and unpin; dirty pages
+// are written back on eviction or flush.
+type BufferPool struct {
+	file     *os.File
+	capacity int
+	frames   map[int64]*frame
+	lru      *list.List // front = most recently used; holds *frame
+
+	// Stats for ablation benches and tests.
+	Hits, Misses, Evictions int64
+}
+
+type frame struct {
+	pageNum int64
+	page    Page
+	dirty   bool
+	pins    int
+	elem    *list.Element
+}
+
+// ErrPoolExhausted means every frame is pinned and nothing can be evicted.
+var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all pages pinned)")
+
+// NewBufferPool creates a pool over file with the given frame capacity.
+func NewBufferPool(file *os.File, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[int64]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// FetchPage pins and returns the page. Callers must Unpin when done.
+func (bp *BufferPool) FetchPage(pageNum int64) (*Page, error) {
+	if f, ok := bp.frames[pageNum]; ok {
+		bp.Hits++
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		return &f.page, nil
+	}
+	bp.Misses++
+	f, err := bp.allocFrame(pageNum)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bp.file.ReadAt(f.page[:], pageNum*PageSize); err != nil {
+		delete(bp.frames, pageNum)
+		bp.lru.Remove(f.elem)
+		return nil, fmt.Errorf("storage: read page %d: %w", pageNum, err)
+	}
+	return &f.page, nil
+}
+
+// NewPage appends a fresh zero page to the file, pins it, and returns it with
+// its page number.
+func (bp *BufferPool) NewPage() (*Page, int64, error) {
+	st, err := bp.file.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	pageNum := st.Size() / PageSize
+	f, err := bp.allocFrame(pageNum)
+	if err != nil {
+		return nil, 0, err
+	}
+	InitPage(&f.page)
+	f.dirty = true
+	// Extend the file eagerly so Stat-based allocation stays correct.
+	if err := bp.file.Truncate((pageNum + 1) * PageSize); err != nil {
+		delete(bp.frames, pageNum)
+		bp.lru.Remove(f.elem)
+		return nil, 0, err
+	}
+	return &f.page, pageNum, nil
+}
+
+func (bp *BufferPool) allocFrame(pageNum int64) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{pageNum: pageNum, pins: 1}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[pageNum] = f
+	return f, nil
+}
+
+func (bp *BufferPool) evictOne() error {
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if _, err := bp.file.WriteAt(f.page[:], f.pageNum*PageSize); err != nil {
+				return err
+			}
+		}
+		bp.Evictions++
+		bp.lru.Remove(e)
+		delete(bp.frames, f.pageNum)
+		return nil
+	}
+	return ErrPoolExhausted
+}
+
+// Unpin releases a pin; dirty marks the page as modified.
+func (bp *BufferPool) Unpin(pageNum int64, dirty bool) {
+	f, ok := bp.frames[pageNum]
+	if !ok {
+		return
+	}
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins > 0 {
+		f.pins--
+	}
+}
+
+// FlushAll writes every dirty page back to the file.
+func (bp *BufferPool) FlushAll() error {
+	for _, f := range bp.frames {
+		if f.dirty {
+			if _, err := bp.file.WriteAt(f.page[:], f.pageNum*PageSize); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}

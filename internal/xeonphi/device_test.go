@@ -1,0 +1,85 @@
+package xeonphi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func busyKernel(d time.Duration) func() error {
+	return func() error {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+		}
+		return nil
+	}
+}
+
+func TestOffloadSpeedsUpCompute(t *testing.T) {
+	dev := NewDevice5110P()
+	compute, _, err := dev.Offload(context.Background(), KindGEMM, 1<<20, 1<<10, busyKernel(4*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device time ≈ measured/2.7, so well under the real 4ms.
+	if compute >= 0.004 || compute <= 0 {
+		t.Fatalf("compute=%v", compute)
+	}
+}
+
+func TestOffloadChargesTransfer(t *testing.T) {
+	dev := NewDevice5110P()
+	_, transfer, err := dev.Offload(context.Background(), KindGEMM, 6<<30, 0, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 GiB over a 6 GiB/s link ≈ 1 s.
+	if transfer < 0.9 || transfer > 1.2 {
+		t.Fatalf("transfer=%v", transfer)
+	}
+}
+
+func TestBiclusterBarelyAccelerated(t *testing.T) {
+	dev := NewDevice5110P()
+	gemm, _, _ := dev.Offload(context.Background(), KindGEMM, 0, 0, busyKernel(3*time.Millisecond))
+	bic, _, _ := dev.Offload(context.Background(), KindBicluster, 0, 0, busyKernel(3*time.Millisecond))
+	if bic <= gemm {
+		t.Fatalf("bicluster (%v) should be slower on device than gemm (%v)", bic, gemm)
+	}
+}
+
+func TestSpillPenalty(t *testing.T) {
+	dev := NewDevice5110P()
+	dev.MemBytes = 100
+	small, _, _ := dev.Offload(context.Background(), KindGEMM, 50, 0, busyKernel(2*time.Millisecond))
+	big, _, _ := dev.Offload(context.Background(), KindGEMM, 200, 0, busyKernel(2*time.Millisecond))
+	if big < small*2 {
+		t.Fatalf("spill penalty not applied: small=%v big=%v", small, big)
+	}
+}
+
+func TestKernelErrorPropagates(t *testing.T) {
+	dev := NewDevice5110P()
+	boom := errors.New("boom")
+	if _, _, err := dev.Offload(context.Background(), KindRank, 0, 0, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestContextCancelled(t *testing.T) {
+	dev := NewDevice5110P()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := dev.Offload(ctx, KindRank, 0, 0, func() error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestUnknownKindUsesDefaultRate(t *testing.T) {
+	dev := NewDevice5110P()
+	c, _, err := dev.Offload(context.Background(), "mystery", 0, 0, busyKernel(2*time.Millisecond))
+	if err != nil || c <= 0 {
+		t.Fatalf("c=%v err=%v", c, err)
+	}
+}
