@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"github.com/genbase/genbase/internal/analytics"
@@ -287,6 +288,90 @@ func BenchmarkTable1PhiSpeedup(b *testing.B) {
 				b.ReportMetric(ratio/float64(b.N), "speedup")
 			})
 		}
+	}
+}
+
+// --- parallel kernel benches (DESIGN.md §9) ---
+//
+// These compare the serial path (one worker) against the multicore path on
+// the Large preset's hot shapes, and the naive oracle against both. They are
+// -cpu aware: `go test -bench Kernel -cpu 1,2,4,8` reruns each with
+// GOMAXPROCS set accordingly, and the parallel variants size their worker
+// pool from GOMAXPROCS — so one sweep yields the single-core vs multicore
+// speedup curve. BENCH_kernels.json records a baseline.
+
+// kernelBenchDims is the Large preset's expression-matrix shape (patients ×
+// genes at the repo's 1/20 scale).
+const (
+	kernelRows = 2000
+	kernelCols = 1500
+)
+
+func BenchmarkKernelGEMM(b *testing.B) {
+	a := randomMatrix(kernelRows, kernelCols, 21)
+	w := randomMatrix(kernelCols, 256, 22)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.MulNaive(a, w)
+		}
+	})
+	b.Run("blocked-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.MulBlockedP(a, w, 1)
+		}
+	})
+	b.Run("blocked-parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			linalg.MulBlockedP(a, w, workers)
+		}
+	})
+}
+
+func BenchmarkKernelGram(b *testing.B) {
+	a := randomMatrix(kernelRows, kernelCols/2, 23)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.MulATAP(a, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			linalg.MulATAP(a, workers)
+		}
+	})
+}
+
+func BenchmarkKernelCovariance(b *testing.B) {
+	a := randomMatrix(kernelRows, kernelCols/2, 24)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.CovarianceP(a, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			linalg.CovarianceP(a, workers)
+		}
+	})
+}
+
+func BenchmarkKernelSVD(b *testing.B) {
+	a := randomMatrix(kernelRows, 400, 25)
+	for _, serial := range []bool{true, false} {
+		name, workers := "parallel", runtime.GOMAXPROCS(0)
+		if serial {
+			name, workers = "serial", 1
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.TopKSVD(a, 10, linalg.LanczosOptions{Reorthogonalize: true, Seed: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -15,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/genbase/genbase/internal/core"
 	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/parallel"
 )
 
 func main() {
@@ -32,10 +34,17 @@ func main() {
 	sizes := flag.String("sizes", "small,medium,large", "comma-separated dataset presets")
 	reps := flag.Int("reps", 3, "repetitions per query (minimum kept)")
 	extension := flag.String("extension", "", "extension experiment: weak|bigcluster|approxsvd (paper future work)")
+	workers := flag.Int("workers", 0, "analytics worker count for every engine (0 = GENBASE_PARALLEL or NumCPU)")
+	parallelSweep := flag.String("parallel-sweep", "", "comma-separated worker counts: time the hot kernels at each and report single-core vs multicore speedups (e.g. 1,2,4,8)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	flag.Parse()
 
-	if !*all && *figure == 0 && *table == 0 && *extension == "" {
+	if *workers > 0 {
+		parallel.SetDefault(*workers)
+		core.SetWorkers(*workers)
+	}
+
+	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -115,6 +124,23 @@ func main() {
 		}
 		fmt.Println(suite.Table1(outs).Render())
 	}
+	if *parallelSweep != "" {
+		var counts []int
+		for _, f := range strings.Split(*parallelSweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad -parallel-sweep worker count %q", f))
+			}
+			counts = append(counts, v)
+		}
+		fmt.Fprintln(os.Stderr, "running parallel kernel sweep...")
+		tables, err := suite.RunParallelSweep(ctx, counts)
+		if err != nil {
+			fatal(err)
+		}
+		printTables(tables)
+	}
+
 	switch *extension {
 	case "":
 	case "weak":

@@ -27,6 +27,12 @@
 //	_ = eng.Load(ds)
 //	res, _ := eng.Run(context.Background(), genbase.Q1Regression, genbase.DefaultParams())
 //	fmt.Println(res.Timing.Total())
+//
+// The hot analytics kernels run on a shared multicore worker pool
+// (internal/parallel). The worker count defaults to GENBASE_PARALLEL or
+// runtime.NumCPU and can be pinned per engine via each engine's Workers
+// field; answers are bitwise identical at any worker count (README.md,
+// DESIGN.md §9).
 package genbase
 
 import (

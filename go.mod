@@ -1,0 +1,3 @@
+module github.com/genbase/genbase
+
+go 1.24

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/parallel"
 )
 
 // DefaultChunk is the default square chunk side. SciDB chunks are "rather
@@ -96,6 +97,20 @@ func (a *Array2D) CopyRow(i int, dst []float64) {
 	}
 }
 
+// CopyRowRange extracts columns [lo, hi) of row i into dst[lo:hi] (dst is
+// indexed by absolute column, len ≥ hi), touching only the tiles that
+// overlap the range — the extraction primitive of the column-partitioned
+// parallel kernels.
+func (a *Array2D) CopyRowRange(i, lo, hi int, dst []float64) {
+	cr, lr := i/a.ChunkR, i%a.ChunkR
+	for cc := lo / a.ChunkC; cc < a.nCC && cc*a.ChunkC < hi; cc++ {
+		t := a.tiles[cr*a.nCC+cc]
+		base := cc * a.ChunkC
+		s, e := max(lo, base), min(hi, base+t.c)
+		copy(dst[s:e], t.data[lr*t.c+(s-base):lr*t.c+(e-base)])
+	}
+}
+
 // Materialize converts the array to a dense matrix.
 func (a *Array2D) Materialize() *linalg.Matrix {
 	m := linalg.NewMatrix(a.Rows, a.Cols)
@@ -138,18 +153,26 @@ func (a *Array2D) NumTiles() int { return len(a.tiles) }
 
 // ColumnMeans computes per-column means, accumulating rows in ascending
 // order (bit-identical to linalg.ColumnMeans).
-func (a *Array2D) ColumnMeans() []float64 {
+func (a *Array2D) ColumnMeans() []float64 { return a.ColumnMeansP(0) }
+
+// ColumnMeansP is ColumnMeans with an explicit worker count: workers own
+// disjoint column ranges and stream only their tiles of each chunked row in
+// ascending row order, so the result stays bit-identical to
+// linalg.ColumnMeans at any worker count.
+func (a *Array2D) ColumnMeansP(workers int) []float64 {
 	means := make([]float64, a.Cols)
 	if a.Rows == 0 {
 		return means
 	}
-	buf := make([]float64, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		a.CopyRow(i, buf)
-		for j, v := range buf {
-			means[j] += v
+	parallel.ForSplit(workers, a.Cols, func(lo, hi int) {
+		buf := make([]float64, a.Cols)
+		for i := 0; i < a.Rows; i++ {
+			a.CopyRowRange(i, lo, hi, buf)
+			for j := lo; j < hi; j++ {
+				means[j] += buf[j]
+			}
 		}
-	}
+	})
 	inv := 1 / float64(a.Rows)
 	for j := range means {
 		means[j] *= inv
@@ -157,79 +180,89 @@ func (a *Array2D) ColumnMeans() []float64 {
 	return means
 }
 
-// Covariance computes the sample covariance of the array's columns with a
-// chunk-streamed kernel: each row is centered and folded into the upper
-// triangle in the same order linalg.Covariance uses, so the result is
-// bit-identical while only ever touching one row buffer plus the output.
-func (a *Array2D) Covariance() *linalg.Matrix {
+// Covariance computes the sample covariance of the array's columns
+// (bit-identical to linalg.Covariance) with the default worker count.
+func (a *Array2D) Covariance() *linalg.Matrix { return a.CovarianceP(0) }
+
+// CovarianceP streams the chunked rows once into a centered dense buffer and
+// runs the shared multicore Gram kernel on it — SciDB's pdgemm hand-off,
+// which materializes a dense copy exactly as handing chunks to ScaLAPACK
+// does. This trades the old kernel's O(Cols) streaming buffer for
+// O(Rows·Cols) scratch in exchange for the multicore Gram. The centering and
+// accumulation orders match linalg.CovarianceP exactly, so the result is
+// bit-identical to the reference engine at any worker count.
+func (a *Array2D) CovarianceP(workers int) *linalg.Matrix {
 	n := a.Cols
-	c := linalg.NewMatrix(n, n)
 	if a.Rows < 2 {
-		return c
+		return linalg.NewMatrix(n, n)
 	}
-	means := a.ColumnMeans()
-	buf := make([]float64, n)
-	for i := 0; i < a.Rows; i++ {
-		a.CopyRow(i, buf)
-		for j := range buf {
-			buf[j] -= means[j]
-		}
-		for j := 0; j < n; j++ {
-			v := buf[j]
-			if v == 0 {
-				continue
-			}
-			cj := c.Row(j)
-			for k := j; k < n; k++ {
-				cj[k] += v * buf[k]
+	means := a.ColumnMeansP(workers)
+	centered := linalg.NewMatrix(a.Rows, n)
+	parallel.ForSplit(workers, a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := centered.Row(i)
+			a.CopyRow(i, row)
+			for j := range row {
+				row[j] -= means[j]
 			}
 		}
-	}
-	for j := 0; j < n; j++ {
-		for k := j + 1; k < n; k++ {
-			c.Set(k, j, c.At(j, k))
-		}
-	}
+	})
+	c := linalg.MulATAP(centered, workers)
 	c.Scale(1 / float64(a.Rows-1))
 	return c
 }
 
 // ATAOperator applies x ↦ Aᵀ(A·x) directly on the chunked storage. Element
 // accumulation follows ascending row/column order, matching
-// linalg.ATAOperator bit-for-bit.
+// linalg.ATAOperator bit-for-bit at any worker count.
 type ATAOperator struct {
-	A   *Array2D
-	buf []float64
+	A *Array2D
+	// Workers is the worker count for both mat-vec passes (0 = default).
+	Workers int
 }
 
-// NewATAOperator wraps a chunked array for Lanczos.
-func NewATAOperator(a *Array2D) *ATAOperator {
-	return &ATAOperator{A: a, buf: make([]float64, a.Cols)}
+// NewATAOperator wraps a chunked array for Lanczos with the default worker
+// count.
+func NewATAOperator(a *Array2D) *ATAOperator { return &ATAOperator{A: a} }
+
+// NewATAOperatorP wraps a chunked array for Lanczos with an explicit worker
+// count.
+func NewATAOperatorP(a *Array2D, workers int) *ATAOperator {
+	return &ATAOperator{A: a, Workers: workers}
 }
 
 // Dim implements linalg.LinearOperator.
 func (o *ATAOperator) Dim() int { return o.A.Cols }
 
-// Apply implements linalg.LinearOperator.
+// Apply implements linalg.LinearOperator. The y = A·x pass partitions output
+// rows; the z = Aᵀ·y pass partitions output columns, each worker streaming
+// the chunked rows in ascending order into its own row buffer — z[j] keeps
+// the serial accumulation order, so results are bitwise deterministic.
 func (o *ATAOperator) Apply(x []float64) []float64 {
 	a := o.A
 	y := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		a.CopyRow(i, o.buf)
-		s := 0.0
-		for j, v := range o.buf {
-			s += v * x[j]
+	parallel.ForSplit(o.Workers, a.Rows, func(lo, hi int) {
+		buf := make([]float64, a.Cols)
+		for i := lo; i < hi; i++ {
+			a.CopyRow(i, buf)
+			s := 0.0
+			for j, v := range buf {
+				s += v * x[j]
+			}
+			y[i] = s
 		}
-		y[i] = s
-	}
+	})
 	z := make([]float64, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		a.CopyRow(i, o.buf)
-		yi := y[i]
-		for j, v := range o.buf {
-			z[j] += yi * v
+	parallel.ForSplit(o.Workers, a.Cols, func(lo, hi int) {
+		buf := make([]float64, a.Cols)
+		for i := 0; i < a.Rows; i++ {
+			a.CopyRowRange(i, lo, hi, buf)
+			yi := y[i]
+			for j := lo; j < hi; j++ {
+				z[j] += yi * buf[j]
+			}
 		}
-	}
+	})
 	return z
 }
 

@@ -17,6 +17,11 @@ import (
 type Engine struct {
 	// ChunkSize overrides the default 256×256 chunking (ablation bench).
 	ChunkSize int
+	// Workers is the analytics-kernel worker count (0 = the GENBASE_PARALLEL
+	// / NumCPU default). Answers are bitwise identical at any value; with an
+	// accelerator attached it also sets the host-side kernel parallelism the
+	// device model measures against.
+	Workers int
 	// Accel, when non-nil, runs the analytics kernels on a coprocessor
 	// device model, adding transfer charges. Nil means host execution.
 	Accel Accelerator
@@ -209,7 +214,7 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 	inBytes := int64(sub.Rows) * int64(sub.Cols) * 8
 	outBytes := int64(sub.Cols) * int64(sub.Cols) * 8
 	err := e.runKernel(ctx, &sw, "gemm", inBytes, outBytes, func() error {
-		cov = sub.Covariance() // pdgemm-style chunked kernel
+		cov = sub.CovarianceP(e.Workers) // pdgemm-style chunked kernel
 		return nil
 	})
 	if err != nil {
@@ -274,8 +279,8 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 	inBytes := int64(sub.Rows) * int64(sub.Cols) * 8
 	outBytes := int64(p.SVDK) * int64(sub.Cols+1) * 8
 	err := e.runKernel(ctx, &sw, "lanczos", inBytes, outBytes, func() error {
-		eig, kerr := linalg.Lanczos(NewATAOperator(sub), p.SVDK,
-			linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+		eig, kerr := linalg.Lanczos(NewATAOperatorP(sub, e.Workers), p.SVDK,
+			linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
 		if kerr != nil {
 			return kerr
 		}

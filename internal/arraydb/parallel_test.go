@@ -1,0 +1,70 @@
+package arraydb
+
+import (
+	"math"
+	"testing"
+
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+func chunkedRand(r, c, chunk int, seed uint64) (*Array2D, *linalg.Matrix) {
+	rng := datagen.NewRNG(seed)
+	m := linalg.NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return FromMatrix(m, chunk, chunk), m
+}
+
+// The column-partitioned kernels extract partial rows with CopyRowRange;
+// ranges that straddle tile boundaries must see exactly the same values as a
+// full-row copy, and every kernel must be bitwise identical across worker
+// counts and to the dense reference.
+func TestCopyRowRangeMatchesCopyRow(t *testing.T) {
+	a, _ := chunkedRand(11, 53, 16, 1) // 53 cols over 16-wide tiles → ragged edge
+	full := make([]float64, a.Cols)
+	part := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		a.CopyRow(i, full)
+		for _, rg := range [][2]int{{0, 53}, {5, 37}, {16, 32}, {15, 17}, {48, 53}, {52, 53}} {
+			for j := range part {
+				part[j] = math.NaN() // poison outside the range
+			}
+			a.CopyRowRange(i, rg[0], rg[1], part)
+			for j := rg[0]; j < rg[1]; j++ {
+				if part[j] != full[j] {
+					t.Fatalf("row %d range %v: col %d got %v want %v", i, rg, j, part[j], full[j])
+				}
+			}
+		}
+	}
+}
+
+func TestChunkedKernelsBitwiseAcrossWorkers(t *testing.T) {
+	a, m := chunkedRand(67, 45, 16, 2)
+	wantMeans := linalg.ColumnMeansP(m, 1)
+	wantCov := linalg.CovarianceP(m, 1)
+	x := make([]float64, a.Cols)
+	for j := range x {
+		x[j] = float64(j%7) - 3
+	}
+	wantZ := linalg.ATAOperator{A: m, Workers: 1}.Apply(x)
+	for _, w := range []int{1, 3, 8} {
+		means := a.ColumnMeansP(w)
+		for j := range wantMeans {
+			if math.Float64bits(means[j]) != math.Float64bits(wantMeans[j]) {
+				t.Fatalf("workers=%d: means[%d] %v != %v", w, j, means[j], wantMeans[j])
+			}
+		}
+		if linalg.MaxAbsDiff(a.CovarianceP(w), wantCov) != 0 {
+			t.Fatalf("workers=%d: covariance not bit-identical", w)
+		}
+		z := NewATAOperatorP(a, w).Apply(x)
+		for j := range wantZ {
+			if math.Float64bits(z[j]) != math.Float64bits(wantZ[j]) {
+				t.Fatalf("workers=%d: z[%d] %v != %v", w, j, z[j], wantZ[j])
+			}
+		}
+	}
+}

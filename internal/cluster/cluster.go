@@ -1,10 +1,15 @@
-// Package cluster simulates a multi-node cluster with virtual time. This
-// machine has a single core, so real wall-clock cannot exhibit multi-node
-// speedup; instead, every distributed operator executes its real
-// per-partition work serially while the simulator charges the measured
-// duration to the owning virtual node's clock and charges communication with
-// a latency/bandwidth model. The reported query time is the virtual
-// makespan. This preserves exactly what the paper's Figures 3–4 measure:
+// Package cluster simulates a multi-node cluster with virtual time. Real
+// wall-clock on one host cannot exhibit multi-node speedup; instead, every
+// distributed operator executes its real per-partition work (serially on a
+// single-core host, concurrently across nodes via ExecAll when the host has
+// spare cores) while the simulator charges each measured duration to the
+// owning virtual node's clock and charges communication with a
+// latency/bandwidth model. Virtual nodes model the paper's one-kernel-at-a-
+// time workers, so per-node kernels run with one worker each; host-level
+// parallelism comes from running different nodes' work concurrently, which
+// shrinks real simulation wall-clock without touching the virtual-time
+// calibration. The reported query time is the virtual makespan. This
+// preserves exactly what the paper's Figures 3–4 measure:
 // per-node compute shrinks as nodes are added, communication and
 // synchronization do not, so scaling is sub-linear and redistribution-heavy
 // plans can regress (SciDB's 1→2 node slowdown). See DESIGN.md §3.3.
@@ -12,6 +17,8 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 )
 
@@ -88,6 +95,46 @@ func (c *Cluster) Exec(node int, fn func() error) error {
 	err := fn()
 	c.clocks[node] += time.Since(start).Seconds() / c.cfg.ComputeRate
 	return err
+}
+
+// ExecAll runs fn(node) once per node, charging each node's measured
+// duration to its own clock. When the host has at least one CPU per node the
+// closures run concurrently — real clusters run their nodes in parallel, and
+// each closure's wall-clock is still measured individually — otherwise they
+// run serially in node order, exactly as before: with fewer cores than nodes
+// the goroutines would time-share, inflating each measured duration with
+// descheduled time and corrupting the virtual clocks. Both NumCPU (physical
+// capacity; GOMAXPROCS can be set above it) and GOMAXPROCS (the scheduler's
+// actual limit) must cover the node count. Callers must make the closures
+// independent (they write disjoint per-node slots), which also keeps the
+// results identical on either path. On error the first failing node (by
+// index) wins.
+func (c *Cluster) ExecAll(fn func(node int) error) error {
+	n := c.cfg.Nodes
+	if n == 1 || runtime.NumCPU() < n || runtime.GOMAXPROCS(0) < n {
+		for i := 0; i < n; i++ {
+			if err := c.Exec(i, func() error { return fn(i) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Exec(i, func() error { return fn(i) })
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Charge adds pre-measured virtual seconds to a node's clock (used by the

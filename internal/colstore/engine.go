@@ -29,6 +29,10 @@ const (
 
 // Engine is the column-store system under test.
 type Engine struct {
+	// Workers is the analytics-kernel worker count (0 = the GENBASE_PARALLEL
+	// / NumCPU default). Answers are bitwise identical at any value.
+	Workers int
+
 	mode Mode
 
 	micro *Table // geneid, patientid, value — narrow, patient-major
@@ -279,7 +283,7 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 		return nil, err
 	}
 	sw.StartAnalytics()
-	cov := linalg.Covariance(x)
+	cov := linalg.CovarianceP(x, e.Workers)
 
 	sw.StartDM()
 	fns := e.genes.Int("function").Materialize()
@@ -375,7 +379,7 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 		return nil, err
 	}
 	sw.StartAnalytics()
-	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
 	if err != nil {
 		return nil, err
 	}

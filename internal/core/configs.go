@@ -19,6 +19,22 @@ import (
 	"github.com/genbase/genbase/internal/xeonphi"
 )
 
+// engineWorkers is the per-engine analytics worker count applied by Configs
+// (0 = each engine falls back to the GENBASE_PARALLEL / NumCPU default).
+var engineWorkers int
+
+// SetWorkers pins the analytics worker count of every engine Configs builds
+// from now on — the genbase-bench -workers flag, used to sweep single-core
+// vs multicore runs. Answers are bitwise identical at any value. Multi-node
+// engines are unaffected: their virtual nodes stay single-worker by design
+// (see internal/cluster).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	engineWorkers = n
+}
+
 // SystemConfig describes one benchmarkable configuration.
 type SystemConfig struct {
 	// Name as used in the paper's figure legends.
@@ -44,33 +60,61 @@ func Configs() []SystemConfig {
 	return []SystemConfig{
 		{
 			Name: "vanilla-r", SingleNode: true,
-			New: func(_ int, _ string) engine.Engine { return rengine.New() },
+			New: func(_ int, _ string) engine.Engine {
+				e := rengine.New()
+				e.Workers = engineWorkers
+				return e
+			},
 		},
 		{
 			Name: "postgres-madlib", SingleNode: true,
-			New: func(_ int, dir string) engine.Engine { return rowstore.New(dir, rowstore.ModeMadlib) },
+			New: func(_ int, dir string) engine.Engine {
+				e := rowstore.New(dir, rowstore.ModeMadlib)
+				e.Workers = engineWorkers
+				return e
+			},
 		},
 		{
 			Name: "postgres-r", SingleNode: true,
-			New: func(_ int, dir string) engine.Engine { return rowstore.New(dir, rowstore.ModeR) },
+			New: func(_ int, dir string) engine.Engine {
+				e := rowstore.New(dir, rowstore.ModeR)
+				e.Workers = engineWorkers
+				return e
+			},
 		},
 		{
 			Name: "colstore-r", SingleNode: true,
-			New: func(_ int, _ string) engine.Engine { return colstore.New(colstore.ModeR) },
+			New: func(_ int, _ string) engine.Engine {
+				e := colstore.New(colstore.ModeR)
+				e.Workers = engineWorkers
+				return e
+			},
 		},
 		{
 			Name: "colstore-udf", SingleNode: true, MultiNode: true,
-			New:        func(_ int, _ string) engine.Engine { return colstore.New(colstore.ModeUDF) },
+			New: func(_ int, _ string) engine.Engine {
+				e := colstore.New(colstore.ModeUDF)
+				e.Workers = engineWorkers
+				return e
+			},
 			NewCluster: func(nodes int) engine.Engine { return multinode.New(multinode.ColstoreUDF, nodes) },
 		},
 		{
 			Name: "scidb", SingleNode: true, MultiNode: true,
-			New:        func(_ int, _ string) engine.Engine { return arraydb.New() },
+			New: func(_ int, _ string) engine.Engine {
+				e := arraydb.New()
+				e.Workers = engineWorkers
+				return e
+			},
 			NewCluster: func(nodes int) engine.Engine { return multinode.New(multinode.SciDB, nodes) },
 		},
 		{
 			Name: "hadoop", SingleNode: true, MultiNode: true,
-			New:        func(_ int, _ string) engine.Engine { return mapreduce.New() },
+			New: func(_ int, _ string) engine.Engine {
+				e := mapreduce.New()
+				e.Workers = engineWorkers
+				return e
+			},
 			NewCluster: func(nodes int) engine.Engine { return multinode.NewHadoop(nodes) },
 		},
 		{
@@ -87,6 +131,7 @@ func Configs() []SystemConfig {
 			Name: "scidb-phi",
 			New: func(_ int, _ string) engine.Engine {
 				e := arraydb.New()
+				e.Workers = engineWorkers
 				e.Accel = xeonphi.NewDevice5110P()
 				return e
 			},

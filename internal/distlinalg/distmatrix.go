@@ -1,8 +1,11 @@
 // Package distlinalg is the ScaLAPACK/pbdR stand-in: matrices distributed
 // by row blocks over the virtual cluster, with distributed Gram products,
 // column statistics, mat-vec (for Lanczos), and least squares. Per-node
-// compute is real executed Go; communication and synchronization are charged
-// to the cluster's virtual clocks.
+// compute is real executed Go, with the per-node partials of every reduction
+// running concurrently through cluster.ExecAll when the host has spare cores
+// (each node's kernel pinned to one worker so virtual-time calibration is
+// unchanged); communication and synchronization are charged to the cluster's
+// virtual clocks.
 package distlinalg
 
 import (
@@ -78,25 +81,24 @@ func (d *DistMatrix) Gather() *linalg.Matrix {
 	return m
 }
 
-// ColumnSums computes per-column sums with local partials and a reduction to
+// ColumnSums computes per-column sums with local partials (one per node,
+// computed concurrently when the host has spare cores) and a reduction to
 // the coordinator.
 func (d *DistMatrix) ColumnSums() ([]float64, error) {
 	partials := make([][]float64, len(d.Parts))
-	for i, part := range d.Parts {
-		i, part := i, part
-		if err := d.C.Exec(i, func() error {
-			s := make([]float64, d.Cols)
-			for r := 0; r < part.Rows; r++ {
-				row := part.Row(r)
-				for j, v := range row {
-					s[j] += v
-				}
+	if err := d.C.ExecAll(func(i int) error {
+		part := d.Parts[i]
+		s := make([]float64, d.Cols)
+		for r := 0; r < part.Rows; r++ {
+			row := part.Row(r)
+			for j, v := range row {
+				s[j] += v
 			}
-			partials[i] = s
-			return nil
-		}); err != nil {
-			return nil, err
 		}
+		partials[i] = s
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	d.C.Gather(0, int64(d.Cols)*8)
 	var total []float64
@@ -128,26 +130,27 @@ func (d *DistMatrix) CenteredGram(means []float64) (*linalg.Matrix, error) {
 }
 
 func (d *DistMatrix) gramCentered(means []float64) (*linalg.Matrix, error) {
+	// Per-node partial Grams run concurrently across nodes (the host-level
+	// parallelism the shared pool provides); each node's kernel is pinned to
+	// one worker so its measured duration still models a single virtual node.
 	partials := make([]*linalg.Matrix, len(d.Parts))
-	for i, part := range d.Parts {
-		i, part := i, part
-		if err := d.C.Exec(i, func() error {
-			if means == nil {
-				partials[i] = linalg.MulATA(part)
-				return nil
-			}
-			centered := linalg.NewMatrix(part.Rows, part.Cols)
-			for r := 0; r < part.Rows; r++ {
-				src, dst := part.Row(r), centered.Row(r)
-				for j, v := range src {
-					dst[j] = v - means[j]
-				}
-			}
-			partials[i] = linalg.MulATA(centered)
+	if err := d.C.ExecAll(func(i int) error {
+		part := d.Parts[i]
+		if means == nil {
+			partials[i] = linalg.MulATAP(part, 1)
 			return nil
-		}); err != nil {
-			return nil, err
 		}
+		centered := linalg.NewMatrix(part.Rows, part.Cols)
+		for r := 0; r < part.Rows; r++ {
+			src, dst := part.Row(r), centered.Row(r)
+			for j, v := range src {
+				dst[j] = v - means[j]
+			}
+		}
+		partials[i] = linalg.MulATAP(centered, 1)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	d.C.Gather(0, int64(d.Cols)*int64(d.Cols)*8)
 	var gram *linalg.Matrix
@@ -195,18 +198,16 @@ func (d *DistMatrix) XtY(y []float64) ([]float64, error) {
 		return nil, errors.New("distlinalg: XtY length mismatch")
 	}
 	partials := make([][]float64, len(d.Parts))
-	for i, part := range d.Parts {
-		i, part := i, part
-		if err := d.C.Exec(i, func() error {
-			s := make([]float64, d.Cols)
-			for r := 0; r < part.Rows; r++ {
-				linalg.Axpy(y[d.Starts[i]+r], part.Row(r), s)
-			}
-			partials[i] = s
-			return nil
-		}); err != nil {
-			return nil, err
+	if err := d.C.ExecAll(func(i int) error {
+		part := d.Parts[i]
+		s := make([]float64, d.Cols)
+		for r := 0; r < part.Rows; r++ {
+			linalg.Axpy(y[d.Starts[i]+r], part.Row(r), s)
 		}
+		partials[i] = s
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	d.C.Gather(0, int64(d.Cols)*8)
 	var total []float64
@@ -255,20 +256,18 @@ func (d *DistMatrix) LeastSquares(y []float64) (*linalg.LeastSquaresResult, erro
 
 	// Distributed residual pass.
 	ssParts := make([]float64, len(d.Parts))
-	for i, part := range d.Parts {
-		i, part := i, part
-		if err := d.C.Exec(i, func() error {
-			ss := 0.0
-			for r := 0; r < part.Rows; r++ {
-				pred := linalg.Dot(part.Row(r), beta)
-				diff := y[d.Starts[i]+r] - pred
-				ss += diff * diff
-			}
-			ssParts[i] = ss
-			return nil
-		}); err != nil {
-			return nil, err
+	if err := d.C.ExecAll(func(i int) error {
+		part := d.Parts[i]
+		ss := 0.0
+		for r := 0; r < part.Rows; r++ {
+			pred := linalg.Dot(part.Row(r), beta)
+			diff := y[d.Starts[i]+r] - pred
+			ss += diff * diff
 		}
+		ssParts[i] = ss
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	d.C.Gather(0, 8)
 	ssRes := 0.0
@@ -307,21 +306,19 @@ func (o *ATAOperator) Apply(x []float64) []float64 {
 		return z
 	}
 	partials := make([][]float64, len(d.Parts))
-	for i, part := range d.Parts {
-		i, part := i, part
-		if err := d.C.Exec(i, func() error {
-			local := make([]float64, d.Cols)
-			for r := 0; r < part.Rows; r++ {
-				row := part.Row(r)
-				yi := linalg.Dot(row, x)
-				linalg.Axpy(yi, row, local)
-			}
-			partials[i] = local
-			return nil
-		}); err != nil {
-			o.Err = err
-			return z
+	if err := d.C.ExecAll(func(i int) error {
+		part := d.Parts[i]
+		local := make([]float64, d.Cols)
+		for r := 0; r < part.Rows; r++ {
+			row := part.Row(r)
+			yi := linalg.Dot(row, x)
+			linalg.Axpy(yi, row, local)
 		}
+		partials[i] = local
+		return nil
+	}); err != nil {
+		o.Err = err
+		return z
 	}
 	d.C.AllReduce(int64(d.Cols) * 8)
 	if err := d.C.Exec(0, func() error {

@@ -1,17 +1,27 @@
 package linalg
 
+import "github.com/genbase/genbase/internal/parallel"
+
 // ColumnMeans returns the mean of each column of a.
-func ColumnMeans(a *Matrix) []float64 {
+func ColumnMeans(a *Matrix) []float64 { return ColumnMeansP(a, 0) }
+
+// ColumnMeansP is ColumnMeans with an explicit worker count. Columns are
+// partitioned across workers; each column still sums rows in ascending order,
+// so the result is bitwise identical at any worker count.
+func ColumnMeansP(a *Matrix, workers int) []float64 {
 	means := make([]float64, a.Cols)
 	if a.Rows == 0 {
 		return means
 	}
-	for i := 0; i < a.Rows; i++ {
-		ri := a.Row(i)
-		for j, v := range ri {
-			means[j] += v
+	w := gemmWorkers(workers, int64(a.Rows)*int64(a.Cols))
+	parallel.ForSplit(w, a.Cols, func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ri := a.Row(i)
+			for j := lo; j < hi; j++ {
+				means[j] += ri[j]
+			}
 		}
-	}
+	})
 	inv := 1 / float64(a.Rows)
 	for j := range means {
 		means[j] *= inv
@@ -20,27 +30,39 @@ func ColumnMeans(a *Matrix) []float64 {
 }
 
 // CenterColumns returns a copy of a with each column shifted to zero mean.
-func CenterColumns(a *Matrix) *Matrix {
-	means := ColumnMeans(a)
+func CenterColumns(a *Matrix) *Matrix { return CenterColumnsP(a, 0) }
+
+// CenterColumnsP is CenterColumns with an explicit worker count (rows are
+// independent, so the partition cannot affect the result).
+func CenterColumnsP(a *Matrix, workers int) *Matrix {
+	means := ColumnMeansP(a, workers)
 	out := NewMatrix(a.Rows, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		ra, ro := a.Row(i), out.Row(i)
-		for j, v := range ra {
-			ro[j] = v - means[j]
+	w := gemmWorkers(workers, int64(a.Rows)*int64(a.Cols))
+	parallel.ForSplit(w, a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ra, ro := a.Row(i), out.Row(i)
+			for j, v := range ra {
+				ro[j] = v - means[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Covariance returns the unbiased sample covariance matrix of the columns of
 // a: C = XᵀX/(n−1) where X is column-centered a. This is Q2's analytics
 // kernel. With fewer than two rows the result is all zeros.
-func Covariance(a *Matrix) *Matrix {
+func Covariance(a *Matrix) *Matrix { return CovarianceP(a, 0) }
+
+// CovarianceP is Covariance with an explicit worker count; every stage
+// (column means, centering, the Gram product) runs on the shared pool and is
+// bitwise deterministic across worker counts.
+func CovarianceP(a *Matrix, workers int) *Matrix {
 	if a.Rows < 2 {
 		return NewMatrix(a.Cols, a.Cols)
 	}
-	x := CenterColumns(a)
-	c := MulATA(x)
+	x := CenterColumnsP(a, workers)
+	c := MulATAP(x, workers)
 	c.Scale(1 / float64(a.Rows-1))
 	return c
 }

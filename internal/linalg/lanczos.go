@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"github.com/genbase/genbase/internal/parallel"
 )
 
 // LinearOperator abstracts "multiply a vector by a symmetric matrix". The
@@ -17,24 +19,34 @@ type LinearOperator interface {
 	Apply(x []float64) []float64
 }
 
-// DenseOperator wraps a symmetric dense matrix as a LinearOperator.
-type DenseOperator struct{ M *Matrix }
+// DenseOperator wraps a symmetric dense matrix as a LinearOperator. Workers
+// sets the mat-vec worker count (0 = default knob).
+type DenseOperator struct {
+	M       *Matrix
+	Workers int
+}
 
 // Dim implements LinearOperator.
 func (d DenseOperator) Dim() int { return d.M.Rows }
 
 // Apply implements LinearOperator.
-func (d DenseOperator) Apply(x []float64) []float64 { return MatVec(d.M, x) }
+func (d DenseOperator) Apply(x []float64) []float64 { return MatVecP(d.M, x, d.Workers) }
 
 // ATAOperator applies x ↦ Aᵀ(A·x) without forming AᵀA. This is the operator
-// Q4 uses: the Lanczos iteration on AᵀA yields A's singular values.
-type ATAOperator struct{ A *Matrix }
+// Q4 uses: the Lanczos iteration on AᵀA yields A's singular values. Workers
+// sets the worker count of both mat-vecs (0 = default knob).
+type ATAOperator struct {
+	A       *Matrix
+	Workers int
+}
 
 // Dim implements LinearOperator.
 func (o ATAOperator) Dim() int { return o.A.Cols }
 
 // Apply implements LinearOperator.
-func (o ATAOperator) Apply(x []float64) []float64 { return MatTVec(o.A, MatVec(o.A, x)) }
+func (o ATAOperator) Apply(x []float64) []float64 {
+	return MatTVecP(o.A, MatVecP(o.A, x, o.Workers), o.Workers)
+}
 
 // LanczosOptions controls the iteration.
 type LanczosOptions struct {
@@ -47,6 +59,11 @@ type LanczosOptions struct {
 	Reorthogonalize bool
 	// Seed selects the deterministic start vector.
 	Seed uint64
+	// Workers is the worker count for the dense mat-vec kernels inside the
+	// iteration (0 = the GENBASE_PARALLEL / NumCPU default). Results are
+	// bitwise identical at any worker count; the reorthogonalization sweep
+	// itself is a serial chain of dependent updates and stays single-threaded.
+	Workers int
 }
 
 // EigResult holds the top-k eigenpairs, eigenvalues in descending order.
@@ -164,19 +181,26 @@ func Lanczos(op LinearOperator, k int, opts LanczosOptions) (*EigResult, error) 
 	res := &EigResult{Values: make([]float64, k), Iterations: iters}
 	res.Vectors = NewMatrix(n, k)
 	for j := 0; j < k; j++ {
-		col := m - 1 - j
-		res.Values[j] = vals[col]
-		// Ritz vector: V_basis · y_col.
-		for t := 0; t < m; t++ {
-			c := vecsT.At(t, col)
-			if c == 0 {
-				continue
-			}
-			for i := 0; i < n; i++ {
-				res.Vectors.Data[i*res.Vectors.Stride+j] += c * basis[t][i]
+		res.Values[j] = vals[m-1-j]
+	}
+	// Ritz vectors: V_basis · y_col, with the output rows partitioned across
+	// the pool (each element keeps its serial accumulation order over t).
+	ritzWorkers := gemmWorkers(opts.Workers, int64(n)*int64(m)*int64(k))
+	parallel.ForSplit(ritzWorkers, n, func(lo, hi int) {
+		for j := 0; j < k; j++ {
+			col := m - 1 - j
+			for t := 0; t < m; t++ {
+				c := vecsT.At(t, col)
+				if c == 0 {
+					continue
+				}
+				bt := basis[t]
+				for i := lo; i < hi; i++ {
+					res.Vectors.Data[i*res.Vectors.Stride+j] += c * bt[i]
+				}
 			}
 		}
-	}
+	})
 	return res, nil
 }
 
@@ -195,7 +219,7 @@ func TopKSVD(a *Matrix, k int, opts LanczosOptions) (*SVDResult, error) {
 	if k > a.Cols {
 		k = a.Cols
 	}
-	eig, err := Lanczos(ATAOperator{A: a}, k, opts)
+	eig, err := Lanczos(ATAOperator{A: a, Workers: opts.Workers}, k, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +235,7 @@ func TopKSVD(a *Matrix, k int, opts LanczosOptions) (*SVDResult, error) {
 		sigma := math.Sqrt(lam)
 		res.SingularValues[j] = sigma
 		if sigma > 1e-13 {
-			u := MatVec(a, eig.Vectors.Col(j))
+			u := MatVecP(a, eig.Vectors.Col(j), opts.Workers)
 			ScaleVec(1/sigma, u)
 			for i := 0; i < a.Rows; i++ {
 				res.U.Set(i, j, u[i])

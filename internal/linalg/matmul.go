@@ -1,26 +1,68 @@
 package linalg
 
+import (
+	"math"
+
+	"github.com/genbase/genbase/internal/parallel"
+)
+
 // matmul implements the GEMM-family kernels. MulBlocked is the workhorse used
 // by the engines' "native BLAS" paths; MulNaive exists as the ablation
 // baseline (DESIGN.md §8) and as a reference oracle in tests.
+//
+// The multicore kernels partition their OUTPUT (C row blocks for GEMM, Gram
+// rows for AᵀA) across the shared worker pool: every output element is owned
+// by exactly one worker and accumulated in the serial kernel's element order,
+// so results are bitwise identical at any worker count and to the historical
+// single-threaded kernels (DESIGN.md §9).
 
 // blockSize is tuned for a ~32 KiB L1 cache: three 64×64 float64 tiles
 // (96 KiB) sit comfortably in L2 while the inner tile streams through L1.
 const blockSize = 64
 
+// minParallelFlops is the kernel size below which fan-out costs more than it
+// saves and the parallel kernels run inline. The cutoff cannot change
+// answers — only which goroutine computes them.
+const minParallelFlops = 1 << 17
+
+// allFinite reports whether every element of m is finite. The GEMM kernels
+// skip zero multiplicands as a fast path; that skip is exact only when the
+// dropped products cannot be 0·NaN or 0·±Inf (both must yield NaN), so it is
+// enabled only after this scan clears the skipped-against operand.
+func allFinite(m *Matrix) bool {
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gemmWorkers caps the effective worker count by the kernel's flop budget.
+func gemmWorkers(workers int, flops int64) int {
+	if flops < minParallelFlops {
+		return 1
+	}
+	return parallel.Resolve(workers)
+}
+
 // MulNaive computes C = A·B with the textbook triple loop (ikj order so the
-// inner loop is stride-1). Kept for ablation benchmarks and as a test oracle.
+// inner loop is stride-1). Kept for ablation benchmarks and as a test oracle;
+// it stays single-threaded on purpose.
 func MulNaive(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic("linalg: mul dimension mismatch")
 	}
 	c := NewMatrix(a.Rows, b.Cols)
+	skipZeros := allFinite(b)
 	for i := 0; i < a.Rows; i++ {
 		ci := c.Row(i)
 		ai := a.Row(i)
 		for k := 0; k < a.Cols; k++ {
 			aik := ai[k]
-			if aik == 0 {
+			if aik == 0 && skipZeros {
 				continue
 			}
 			bk := b.Row(k)
@@ -32,58 +74,80 @@ func MulNaive(a, b *Matrix) *Matrix {
 	return c
 }
 
-// MulBlocked computes C = A·B using cache blocking. This is the default GEMM.
-func MulBlocked(a, b *Matrix) *Matrix {
+// MulBlocked computes C = A·B using cache blocking and the default worker
+// count. This is the default GEMM.
+func MulBlocked(a, b *Matrix) *Matrix { return MulBlockedP(a, b, 0) }
+
+// MulBlockedP is MulBlocked with an explicit worker count (0 = the
+// GENBASE_PARALLEL / NumCPU default). C's row blocks are partitioned across
+// workers; within a row the accumulation order is exactly the serial
+// kernel's, so the result is bitwise identical at any worker count.
+func MulBlockedP(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Rows {
 		panic("linalg: mul dimension mismatch")
 	}
 	c := NewMatrix(a.Rows, b.Cols)
 	n, m, p := a.Rows, a.Cols, b.Cols
-	for kk := 0; kk < m; kk += blockSize {
-		kmax := min(kk+blockSize, m)
-		for ii := 0; ii < n; ii += blockSize {
-			imax := min(ii+blockSize, n)
-			for i := ii; i < imax; i++ {
-				ai := a.Row(i)
-				ci := c.Row(i)
-				for k := kk; k < kmax; k++ {
-					aik := ai[k]
-					if aik == 0 {
-						continue
-					}
-					bk := b.Row(k)
-					for j := 0; j < p; j++ {
-						ci[j] += aik * bk[j]
+	skipZeros := allFinite(b)
+	w := gemmWorkers(workers, 2*int64(n)*int64(m)*int64(p))
+	parallel.ForSplit(w, n, func(lo, hi int) {
+		for kk := 0; kk < m; kk += blockSize {
+			kmax := min(kk+blockSize, m)
+			for ii := lo; ii < hi; ii += blockSize {
+				imax := min(ii+blockSize, hi)
+				for i := ii; i < imax; i++ {
+					ai := a.Row(i)
+					ci := c.Row(i)
+					for k := kk; k < kmax; k++ {
+						aik := ai[k]
+						if aik == 0 && skipZeros {
+							continue
+						}
+						bk := b.Row(k)
+						for j := 0; j < p; j++ {
+							ci[j] += aik * bk[j]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return c
 }
 
-// Mul is the default matrix multiply (cache-blocked).
-func Mul(a, b *Matrix) *Matrix { return MulBlocked(a, b) }
+// Mul is the default matrix multiply (cache-blocked, multicore).
+func Mul(a, b *Matrix) *Matrix { return MulBlockedP(a, b, 0) }
 
 // MulATA computes AᵀA (a.Cols × a.Cols), exploiting symmetry: only the upper
 // triangle is computed and then mirrored. This is the kernel behind both
 // covariance (Q2) and the Lanczos operator (Q4).
-func MulATA(a *Matrix) *Matrix {
+func MulATA(a *Matrix) *Matrix { return MulATAP(a, 0) }
+
+// MulATAP is MulATA with an explicit worker count. The upper-triangle rows of
+// the Gram matrix are partitioned across workers with triangle-aware split
+// points; each Gram element still accumulates A's rows in ascending order, so
+// no cross-worker reduction exists and the result is bitwise identical at any
+// worker count.
+func MulATAP(a *Matrix, workers int) *Matrix {
 	n := a.Cols
 	c := NewMatrix(n, n)
-	for i := 0; i < a.Rows; i++ {
-		ri := a.Row(i)
-		for j := 0; j < n; j++ {
-			v := ri[j]
-			if v == 0 {
-				continue
-			}
-			cj := c.Row(j)
-			for k := j; k < n; k++ {
-				cj[k] += v * ri[k]
+	skipZeros := allFinite(a)
+	w := gemmWorkers(workers, int64(a.Rows)*int64(n)*int64(n))
+	parallel.ForSplitWeighted(w, n, func(j int) float64 { return float64(n - j) }, func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ri := a.Row(i)
+			for j := lo; j < hi; j++ {
+				v := ri[j]
+				if v == 0 && skipZeros {
+					continue
+				}
+				cj := c.Row(j)
+				for k := j; k < n; k++ {
+					cj[k] += v * ri[k]
+				}
 			}
 		}
-	}
+	})
 	for j := 0; j < n; j++ {
 		for k := j + 1; k < n; k++ {
 			c.Set(k, j, c.At(j, k))
@@ -93,18 +157,25 @@ func MulATA(a *Matrix) *Matrix {
 }
 
 // MulABT computes A·Bᵀ. Both inner dimensions must match (a.Cols == b.Cols).
-func MulABT(a, b *Matrix) *Matrix {
+func MulABT(a, b *Matrix) *Matrix { return MulABTP(a, b, 0) }
+
+// MulABTP is MulABT with an explicit worker count; C's rows are partitioned
+// across workers.
+func MulABTP(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Cols {
 		panic("linalg: mulABT dimension mismatch")
 	}
 	c := NewMatrix(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		ai := a.Row(i)
-		ci := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			ci[j] = Dot(ai, b.Row(j))
+	w := gemmWorkers(workers, 2*int64(a.Rows)*int64(a.Cols)*int64(b.Rows))
+	parallel.ForSplit(w, a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			ci := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				ci[j] = Dot(ai, b.Row(j))
+			}
 		}
-	}
+	})
 	return c
 }
 

@@ -4,8 +4,12 @@
 // Lanczos on AᵀA, and covariance. It is the from-scratch stand-in for
 // BLAS/LAPACK in the original benchmark.
 //
-// All matrices are dense, row-major float64. Kernels are single-threaded and
-// deterministic so results are reproducible across engines.
+// All matrices are dense, row-major float64. The hot kernels (GEMM, Gram,
+// covariance, mat-vec) run on the shared worker pool in internal/parallel;
+// each takes its worker count from an explicit *P variant argument or the
+// GENBASE_PARALLEL / NumCPU default. Work is partitioned by output, never by
+// reduction, so every kernel is bitwise deterministic at any worker count —
+// results stay reproducible across engines and across machines.
 package linalg
 
 import (

@@ -1,6 +1,10 @@
 package linalg
 
-import "math"
+import (
+	"math"
+
+	"github.com/genbase/genbase/internal/parallel"
+)
 
 // Dot returns the inner product of x and y (which must have equal length).
 func Dot(x, y []float64) float64 {
@@ -79,25 +83,46 @@ func Variance(x []float64) float64 {
 }
 
 // MatVec computes y = A·x. len(x) must equal A.Cols; the result has A.Rows entries.
-func MatVec(a *Matrix, x []float64) []float64 {
+func MatVec(a *Matrix, x []float64) []float64 { return MatVecP(a, x, 0) }
+
+// MatVecP is MatVec with an explicit worker count; output rows are
+// partitioned across workers and each y[i] is one serial dot product, so the
+// result is bitwise identical at any worker count.
+func MatVecP(a *Matrix, x []float64, workers int) []float64 {
 	if len(x) != a.Cols {
 		panic("linalg: matvec dimension mismatch")
 	}
 	y := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		y[i] = Dot(a.Row(i), x)
-	}
+	w := gemmWorkers(workers, 2*int64(a.Rows)*int64(a.Cols))
+	parallel.ForSplit(w, a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = Dot(a.Row(i), x)
+		}
+	})
 	return y
 }
 
 // MatTVec computes y = Aᵀ·x. len(x) must equal A.Rows; the result has A.Cols entries.
-func MatTVec(a *Matrix, x []float64) []float64 {
+func MatTVec(a *Matrix, x []float64) []float64 { return MatTVecP(a, x, 0) }
+
+// MatTVecP is MatTVec with an explicit worker count; output COLUMNS are
+// partitioned across workers, and each y[j] accumulates A's rows in ascending
+// order exactly as the serial kernel does — no cross-worker reduction, so the
+// result is bitwise identical at any worker count.
+func MatTVecP(a *Matrix, x []float64, workers int) []float64 {
 	if len(x) != a.Rows {
 		panic("linalg: mattvec dimension mismatch")
 	}
 	y := make([]float64, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		Axpy(x[i], a.Row(i), y)
-	}
+	w := gemmWorkers(workers, 2*int64(a.Rows)*int64(a.Cols))
+	parallel.ForSplit(w, a.Cols, func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ri := a.Row(i)
+			xi := x[i]
+			for j := lo; j < hi; j++ {
+				y[j] += xi * ri[j]
+			}
+		}
+	})
 	return y
 }

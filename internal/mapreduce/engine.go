@@ -23,7 +23,11 @@ const DefaultSplits = 8
 type Engine struct {
 	// Splits is the number of input splits (default 8).
 	Splits int
-	// Sched places map/reduce waves; nil runs single-node.
+	// Workers is the map/reduce slot count of the default single-node
+	// scheduler (0 = the GENBASE_PARALLEL / NumCPU default). Ignored when
+	// Sched is set explicitly. Answers are identical at any value.
+	Workers int
+	// Sched places map/reduce waves; nil runs single-node on Workers slots.
 	Sched TaskScheduler
 	// NameSuffix distinguishes multi-node variants in reports.
 	NameSuffix string
@@ -58,6 +62,9 @@ func (e *Engine) splits() int {
 // Load implements engine.Engine: every table becomes text lines in HDFS
 // style.
 func (e *Engine) Load(ds *datagen.Dataset) error {
+	if e.Sched == nil {
+		e.Sched = LocalScheduler{Workers: e.Workers}
+	}
 	p, g := ds.Dims.Patients, ds.Dims.Genes
 	lines := make([]string, 0, p*g)
 	var sb strings.Builder

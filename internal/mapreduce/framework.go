@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/parallel"
 )
 
 // KV is one intermediate key/value pair.
@@ -47,17 +48,26 @@ type TaskScheduler interface {
 	ShuffleCost(bytes [][]int64)
 }
 
-// LocalScheduler runs waves sequentially on the local node (single-node
-// Hadoop).
-type LocalScheduler struct{}
+// LocalScheduler runs waves on the local node (single-node Hadoop), fanning
+// the wave's tasks across the shared worker pool — a node runs as many
+// map/reduce slots as it has cores. Tasks of one wave write disjoint outputs,
+// so the fan-out cannot change results. Workers is the slot count (0 = the
+// GENBASE_PARALLEL / NumCPU default).
+type LocalScheduler struct{ Workers int }
 
-// RunWave implements TaskScheduler.
-func (LocalScheduler) RunWave(ctx context.Context, _ string, n int, task func(i int) error) error {
-	for i := 0; i < n; i++ {
+// RunWave implements TaskScheduler. On error the first failing task (by
+// index) wins, mirroring the sequential scheduler.
+func (s LocalScheduler) RunWave(ctx context.Context, _ string, n int, task func(i int) error) error {
+	errs := make([]error, n)
+	parallel.For(s.Workers, n, func(i int) {
 		if err := engine.CheckCtx(ctx); err != nil {
-			return err
+			errs[i] = err
+			return
 		}
-		if err := task(i); err != nil {
+		errs[i] = task(i)
+	})
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

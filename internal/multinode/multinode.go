@@ -273,25 +273,27 @@ func allGeneIDs(n int) []int64 {
 	return out
 }
 
-// buildDistMatrix runs the local DM on every node (filter + pivot) and wraps
-// the blocks as a distributed matrix. Returns the selected patients in
-// global order.
+// buildDistMatrix runs the local DM on every node (filter + pivot,
+// concurrently across nodes when the host has spare cores) and wraps the
+// blocks as a distributed matrix. Returns the selected patients in global
+// order.
 func (e *Engine) buildDistMatrix(ctx context.Context, pred func(pid int) bool, genes []int64) (*distlinalg.DistMatrix, []int64, error) {
 	parts := make([]*linalg.Matrix, e.c.Nodes())
-	var allPatients []int64
-	for n := 0; n < e.c.Nodes(); n++ {
-		n := n
+	locals := make([][]int64, e.c.Nodes())
+	if err := e.c.ExecAll(func(n int) error {
+		// Checked per node so cancellation is honored between (or during
+		// concurrent) per-node pivots, as the old sequential loop did.
 		if err := engine.CheckCtx(ctx); err != nil {
-			return nil, nil, err
+			return err
 		}
-		var local []int64
-		if err := e.c.Exec(n, func() error {
-			local = e.localPatients(n, pred)
-			parts[n] = e.localPivot(n, local, genes)
-			return nil
-		}); err != nil {
-			return nil, nil, err
-		}
+		locals[n] = e.localPatients(n, pred)
+		parts[n] = e.localPivot(n, locals[n], genes)
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	var allPatients []int64
+	for _, local := range locals {
 		allPatients = append(allPatients, local...)
 	}
 	e.c.Barrier()

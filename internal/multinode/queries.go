@@ -100,7 +100,8 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (any, float64,
 	case ColstoreUDF:
 		x := d.Gather()
 		err = e.c.Exec(0, func() error {
-			cov = linalg.Covariance(x)
+			// One worker: the coordinator models a single virtual node.
+			cov = linalg.CovarianceP(x, 1)
 			return nil
 		})
 		if err != nil {
@@ -163,7 +164,7 @@ func (e *Engine) phiCovariance(d *distlinalg.DistMatrix) (*linalg.Matrix, error)
 					dst[j] = v - means[j]
 				}
 			}
-			partials[i] = linalg.MulATA(centered)
+			partials[i] = linalg.MulATAP(centered, 1)
 			return nil
 		})
 		if err != nil {
@@ -234,7 +235,7 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (any, float64, error)
 	case ColstoreUDF:
 		a := d.Gather()
 		err = e.c.Exec(0, func() error {
-			svd, kerr := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+			svd, kerr := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: 1})
 			if kerr != nil {
 				return kerr
 			}
@@ -337,28 +338,26 @@ func (o *phiATAOperator) Apply(x []float64) []float64 {
 
 func (e *Engine) statistics(ctx context.Context, p engine.Params) (any, float64, error) {
 	step := p.SamplePatientStep()
-	// Local partial sums over each node's sampled patients.
+	// Local partial sums over each node's sampled patients, concurrently
+	// across nodes.
 	partials := make([][]float64, e.c.Nodes())
-	for n := 0; n < e.c.Nodes(); n++ {
-		n := n
+	if err := e.c.ExecAll(func(n int) error {
 		if err := engine.CheckCtx(ctx); err != nil {
-			return nil, 0, err
+			return err
 		}
-		if err := e.c.Exec(n, func() error {
-			local := e.localPatients(n, func(pid int) bool { return pid%step == 0 })
-			m := e.localPivot(n, local, allGeneIDs(e.numGenes))
-			s := make([]float64, e.numGenes)
-			for r := 0; r < m.Rows; r++ {
-				row := m.Row(r)
-				for j, v := range row {
-					s[j] += v
-				}
+		local := e.localPatients(n, func(pid int) bool { return pid%step == 0 })
+		m := e.localPivot(n, local, allGeneIDs(e.numGenes))
+		s := make([]float64, e.numGenes)
+		for r := 0; r < m.Rows; r++ {
+			row := m.Row(r)
+			for j, v := range row {
+				s[j] += v
 			}
-			partials[n] = s
-			return nil
-		}); err != nil {
-			return nil, 0, err
 		}
+		partials[n] = s
+		return nil
+	}); err != nil {
+		return nil, 0, err
 	}
 	e.c.Gather(0, int64(e.numGenes)*8)
 	sampled := (e.numPats + step - 1) / step

@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitCoversContiguously(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {1, 4}, {7, 7}, {100, 1}, {0, 3}, {5, 16}} {
+		ranges := Split(tc.n, tc.k)
+		pos := 0
+		for _, r := range ranges {
+			if r.Lo != pos || r.Hi <= r.Lo {
+				t.Fatalf("Split(%d,%d)=%v: bad range %v at pos %d", tc.n, tc.k, ranges, r, pos)
+			}
+			pos = r.Hi
+		}
+		if pos != tc.n {
+			t.Fatalf("Split(%d,%d)=%v does not cover [0,%d)", tc.n, tc.k, ranges, tc.n)
+		}
+		if tc.n > 0 && len(ranges) != min(tc.n, max(tc.k, 1)) {
+			t.Fatalf("Split(%d,%d) produced %d ranges", tc.n, tc.k, len(ranges))
+		}
+	}
+}
+
+func TestSplitWeightedBalancesTriangle(t *testing.T) {
+	n, k := 100, 4
+	weight := func(i int) float64 { return float64(n - i) } // Gram row cost
+	ranges := SplitWeighted(n, k, weight)
+	if len(ranges) != k {
+		t.Fatalf("got %d ranges", len(ranges))
+	}
+	pos := 0
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	for _, r := range ranges {
+		if r.Lo != pos || r.Hi <= r.Lo {
+			t.Fatalf("bad coverage: %v", ranges)
+		}
+		pos = r.Hi
+		w := 0.0
+		for i := r.Lo; i < r.Hi; i++ {
+			w += weight(i)
+		}
+		if share := w / total; share < 0.10 || share > 0.45 {
+			t.Fatalf("range %v holds %.0f%% of the weight: %v", r, share*100, ranges)
+		}
+	}
+	if pos != n {
+		t.Fatalf("ranges %v do not cover [0,%d)", ranges, n)
+	}
+}
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 237
+		var hits [237]atomic.Int32
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForSplitSeesWholeRangeOnce(t *testing.T) {
+	var covered atomic.Int64
+	ForSplit(4, 1000, func(lo, hi int) { covered.Add(int64(hi - lo)) })
+	if covered.Load() != 1000 {
+		t.Fatalf("covered %d of 1000", covered.Load())
+	}
+}
+
+func TestResolveAndDefault(t *testing.T) {
+	defer SetDefault(0)
+	if Resolve(5) != 5 {
+		t.Fatal("explicit count must pass through")
+	}
+	SetDefault(3)
+	if Resolve(0) != 3 {
+		t.Fatal("override not honored")
+	}
+	SetDefault(0)
+	t.Setenv(EnvVar, "7")
+	if Resolve(0) != 7 {
+		t.Fatalf("env knob not honored: %d", Resolve(0))
+	}
+	t.Setenv(EnvVar, "not-a-number")
+	if Resolve(0) != runtime.NumCPU() {
+		t.Fatal("bad env value must fall back to NumCPU")
+	}
+}

@@ -22,6 +22,9 @@ type Engine struct {
 	// MaxCells caps the total number of dataframe/matrix cells resident at
 	// once. 0 means DefaultMaxCells; negative means unlimited.
 	MaxCells int64
+	// Workers is the analytics-kernel worker count (0 = the GENBASE_PARALLEL
+	// / NumCPU default). Answers are bitwise identical at any value.
+	Workers int
 
 	ds    *datagen.Dataset
 	micro *Frame // gene, patient, value triples (relational form, §3.1.1)
@@ -278,7 +281,7 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 	if int64(g)*int64(g) > e.maxCells() {
 		return nil, fmt.Errorf("%w: %d×%d covariance matrix", engine.ErrOutOfMemory, g, g)
 	}
-	cov := linalg.Covariance(x)
+	cov := linalg.CovarianceP(x, e.Workers)
 	sw.StartDM()
 	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{e.genes.Int("function")}, len(sel))
 	sw.Stop()
@@ -339,7 +342,7 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 	}
 
 	sw.StartAnalytics()
-	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,10 @@ const (
 
 // Engine is the row-store system under test.
 type Engine struct {
+	// Workers is the analytics-kernel worker count (0 = the GENBASE_PARALLEL
+	// / NumCPU default). Answers are bitwise identical at any value.
+	Workers int
+
 	mode Mode
 	dir  string
 	db   *DB
@@ -187,7 +191,7 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 		}
 	}
 	sw.StartAnalytics()
-	cov := linalg.Covariance(x)
+	cov := linalg.CovarianceP(x, e.Workers)
 
 	sw.StartDM()
 	fns, err := e.geneFunctions(ctx)
@@ -265,7 +269,7 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 			return nil, err
 		}
 		sw.StartAnalytics()
-		svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
+		svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
 		if err != nil {
 			return nil, err
 		}

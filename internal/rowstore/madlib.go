@@ -117,8 +117,10 @@ func (o *sqlATAOperator) matVecPlan(vec *relation.Table, joinCol, groupCol int, 
 // madlibSVD runs Lanczos with simulated-SQL mat-vecs and returns the top-k
 // singular values of a.
 func (e *Engine) madlibSVD(ctx context.Context, a *linalg.Matrix, k int, seed uint64) ([]float64, error) {
+	// The mat-vecs run as relational plans (that is the configuration's
+	// point), so only the driver-side Ritz assembly uses the worker pool.
 	op := &sqlATAOperator{ctx: ctx, triples: tripleTable(a), rows: a.Rows, cols: a.Cols}
-	eig, err := linalg.Lanczos(op, k, linalg.LanczosOptions{Reorthogonalize: true, Seed: seed})
+	eig, err := linalg.Lanczos(op, k, linalg.LanczosOptions{Reorthogonalize: true, Seed: seed, Workers: e.Workers})
 	if op.err != nil {
 		return nil, op.err
 	}

@@ -41,7 +41,11 @@ type Device struct {
 // re-run twice and the minimum kept: on a shared single-core machine a
 // single sub-millisecond sample is dominated by scheduler and GC noise,
 // which would make modeled speedup ratios meaningless. Benchmark kernels are
-// pure functions of their inputs, so re-running is safe.
+// pure functions of their inputs, so re-running is safe — including the
+// multicore kernels from internal/parallel, which are bitwise deterministic
+// at any worker count; a parallel host kernel simply yields a smaller
+// measured duration, and the device rates divide whatever was measured
+// (DESIGN.md §5, §9).
 func MeasureKernel(kernel func() error) (float64, error) {
 	start := time.Now()
 	if err := kernel(); err != nil {
