@@ -73,6 +73,7 @@ func benchQuery(b *testing.B, q engine.QueryID) {
 	for _, cfg := range core.SingleNodeConfigs() {
 		cfg := cfg
 		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng := loadedEngine(b, cfg.Name)
 			if !eng.Supports(q) {
 				b.Skip("query unsupported by this configuration")
@@ -101,6 +102,7 @@ func BenchmarkFigure2RegressionBreakdown(b *testing.B) {
 	for _, cfg := range core.SingleNodeConfigs() {
 		cfg := cfg
 		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng := loadedEngine(b, cfg.Name)
 			ctx := context.Background()
 			var dm, an float64
@@ -127,6 +129,7 @@ func benchMultiNode(b *testing.B, q engine.QueryID) {
 		for _, nodes := range []int{1, 2, 4} {
 			cfg, nodes := cfg, nodes
 			b.Run(fmt.Sprintf("%s/nodes=%d", cfg.Name, nodes), func(b *testing.B) {
+				b.ReportAllocs()
 				eng := cfg.NewCluster(nodes)
 				defer eng.Close()
 				if !eng.Supports(q) {
@@ -163,6 +166,7 @@ func BenchmarkFigure3Biclustering(b *testing.B) {
 	for _, nodes := range []int{1, 4} {
 		nodes := nodes
 		b.Run(fmt.Sprintf("pbdr/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
 			eng := multinode.New(multinode.PBDR, nodes)
 			if err := eng.Load(benchDataset(b)); err != nil {
 				b.Fatal(err)
@@ -186,6 +190,7 @@ func BenchmarkFigure4RegressionBreakdown(b *testing.B) {
 		for _, nodes := range []int{1, 4} {
 			cfg, nodes := cfg, nodes
 			b.Run(fmt.Sprintf("%s/nodes=%d", cfg.Name, nodes), func(b *testing.B) {
+				b.ReportAllocs()
 				eng := cfg.NewCluster(nodes)
 				defer eng.Close()
 				if err := eng.Load(benchDataset(b)); err != nil {
@@ -223,6 +228,7 @@ func BenchmarkFigure5XeonPhi(b *testing.B) {
 		for name, q := range queries {
 			system, name, q := system, name, q
 			b.Run(system+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
 				eng := loadedEngine(b, system)
 				ctx := context.Background()
 				var total float64
@@ -259,6 +265,7 @@ func BenchmarkTable1PhiSpeedup(b *testing.B) {
 		for _, nodes := range []int{1, 2} {
 			name, q, nodes := name, q, nodes
 			b.Run(fmt.Sprintf("%s/nodes=%d", name, nodes), func(b *testing.B) {
+				b.ReportAllocs()
 				host := multinode.New(multinode.SciDB, nodes)
 				phi := multinode.New(multinode.SciDBPhi, nodes)
 				if err := host.Load(benchDataset(b)); err != nil {
@@ -311,16 +318,19 @@ func BenchmarkKernelGEMM(b *testing.B) {
 	a := randomMatrix(kernelRows, kernelCols, 21)
 	w := randomMatrix(kernelCols, 256, 22)
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			linalg.MulNaive(a, w)
 		}
 	})
 	b.Run("blocked-serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			linalg.MulBlockedP(a, w, 1)
 		}
 	})
 	b.Run("blocked-parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		workers := runtime.GOMAXPROCS(0)
 		for i := 0; i < b.N; i++ {
 			linalg.MulBlockedP(a, w, workers)
@@ -331,11 +341,13 @@ func BenchmarkKernelGEMM(b *testing.B) {
 func BenchmarkKernelGram(b *testing.B) {
 	a := randomMatrix(kernelRows, kernelCols/2, 23)
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			linalg.MulATAP(a, 1)
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		workers := runtime.GOMAXPROCS(0)
 		for i := 0; i < b.N; i++ {
 			linalg.MulATAP(a, workers)
@@ -346,11 +358,13 @@ func BenchmarkKernelGram(b *testing.B) {
 func BenchmarkKernelCovariance(b *testing.B) {
 	a := randomMatrix(kernelRows, kernelCols/2, 24)
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			linalg.CovarianceP(a, 1)
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		workers := runtime.GOMAXPROCS(0)
 		for i := 0; i < b.N; i++ {
 			linalg.CovarianceP(a, workers)
@@ -366,6 +380,7 @@ func BenchmarkKernelSVD(b *testing.B) {
 			name, workers = "serial", 1
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := linalg.TopKSVD(a, 10, linalg.LanczosOptions{Reorthogonalize: true, Seed: 1, Workers: workers}); err != nil {
 					b.Fatal(err)
@@ -394,11 +409,13 @@ func BenchmarkAblationMatmulBlocking(b *testing.B) {
 		a := randomMatrix(n, n, 1)
 		c := randomMatrix(n, n, 2)
 		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				linalg.MulNaive(a, c)
 			}
 		})
 		b.Run(fmt.Sprintf("blocked/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				linalg.MulBlocked(a, c)
 			}
@@ -416,6 +433,7 @@ func BenchmarkAblationLanczosReorth(b *testing.B) {
 			name = "plain"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := linalg.TopKSVD(a, 10, linalg.LanczosOptions{Reorthogonalize: reorth, Seed: 1}); err != nil {
 					b.Fatal(err)
@@ -441,12 +459,14 @@ func BenchmarkAblationColumnCompression(b *testing.B) {
 	raw := colstore.BuildIntColumn(random)
 	pred := func(v int64) bool { return v%5 == 0 }
 	b.Run("rle", func(b *testing.B) {
+		b.ReportAllocs()
 		var sel []int32
 		for i := 0; i < b.N; i++ {
 			sel = rle.Select(pred, sel[:0])
 		}
 	})
 	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
 		var sel []int32
 		for i := 0; i < b.N; i++ {
 			sel = raw.Select(pred, sel[:0])
@@ -460,6 +480,7 @@ func BenchmarkAblationExportFormat(b *testing.B) {
 	m := randomMatrix(250, 250, 5)
 	ctx := context.Background()
 	b.Run("text-copy", func(b *testing.B) {
+		b.ReportAllocs()
 		g := analytics.TextGlue{}
 		for i := 0; i < b.N; i++ {
 			if _, err := g.TransferMatrix(ctx, m); err != nil {
@@ -468,6 +489,7 @@ func BenchmarkAblationExportFormat(b *testing.B) {
 		}
 	})
 	b.Run("udf-binary", func(b *testing.B) {
+		b.ReportAllocs()
 		g := analytics.BinaryGlue{}
 		for i := 0; i < b.N; i++ {
 			if _, err := g.TransferMatrix(ctx, m); err != nil {
@@ -483,6 +505,7 @@ func BenchmarkAblationChunkSize(b *testing.B) {
 	for _, chunk := range []int{32, 128, 256, 512} {
 		chunk := chunk
 		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			b.ReportAllocs()
 			a := arraydb.FromMatrix(m, chunk, chunk)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -500,6 +523,7 @@ func BenchmarkAblationNetworkBandwidth(b *testing.B) {
 		for _, nodes := range []int{1, 4} {
 			mbps, nodes := mbps, nodes
 			b.Run(fmt.Sprintf("bw=%.0fMBps/nodes=%d", mbps/1e6, nodes), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := cluster.DefaultConfig(nodes)
 				cfg.BandwidthBytesPerSec = mbps
 				var virtual float64
@@ -527,6 +551,7 @@ func BenchmarkXeonPhiOffload(b *testing.B) {
 	for _, kind := range []string{xeonphi.KindGEMM, xeonphi.KindBicluster} {
 		kind := kind
 		b.Run(kind, func(b *testing.B) {
+			b.ReportAllocs()
 			var modeled float64
 			for i := 0; i < b.N; i++ {
 				compute, transfer, err := dev.Offload(ctx, kind, 720000, 720000, func() error {
@@ -541,4 +566,58 @@ func BenchmarkXeonPhiOffload(b *testing.B) {
 			b.ReportMetric(modeled/float64(b.N), "modeled-sec/op")
 		})
 	}
+}
+
+// --- zero-copy pipeline benches (DESIGN.md §10) ---
+//
+// End-to-end storage→kernel pipelines on the column store, with the
+// zero-copy path toggled against the historical copy path (the -zerocopy
+// ablation). Allocation counts are the headline metric: the zero-copy path
+// pivots through views and pooled scratch, so a warm query loop should
+// allocate almost nothing on the data-management side. BENCH_pipeline.json
+// records a baseline.
+func benchPipelineQuery(b *testing.B, system string, q engine.QueryID) {
+	for _, zc := range []bool{true, false} {
+		name := "zerocopy"
+		if !zc {
+			name = "copy"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			engine.SetZeroCopy(zc)
+			defer engine.SetZeroCopy(true)
+			eng := loadedEngine(b, system)
+			if !eng.Supports(q) {
+				b.Skip("query unsupported by this configuration")
+			}
+			ctx := context.Background()
+			p := engine.DefaultParams()
+			// Warm the buffer pools and the scratch arena.
+			if _, err := eng.Run(ctx, q, p); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ctx, q, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineColstoreCovariance(b *testing.B) {
+	benchPipelineQuery(b, "colstore-udf", engine.Q2Covariance)
+}
+
+func BenchmarkPipelineColstoreRegression(b *testing.B) {
+	benchPipelineQuery(b, "colstore-udf", engine.Q1Regression)
+}
+
+func BenchmarkPipelineRowstoreCovariance(b *testing.B) {
+	benchPipelineQuery(b, "postgres-madlib", engine.Q2Covariance)
+}
+
+func BenchmarkPipelineArrayDBCovariance(b *testing.B) {
+	benchPipelineQuery(b, "scidb", engine.Q2Covariance)
 }

@@ -21,6 +21,7 @@ import (
 
 	"github.com/genbase/genbase/internal/core"
 	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/parallel"
 )
 
@@ -35,6 +36,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per query (minimum kept)")
 	extension := flag.String("extension", "", "extension experiment: weak|bigcluster|approxsvd (paper future work)")
 	workers := flag.Int("workers", 0, "analytics worker count for every engine (0 = GENBASE_PARALLEL or NumCPU)")
+	zerocopy := flag.Bool("zerocopy", true, "use the zero-copy storage→kernel path; false re-enables the historical materialize/copy path (ablation, bitwise-identical answers)")
 	parallelSweep := flag.String("parallel-sweep", "", "comma-separated worker counts: time the hot kernels at each and report single-core vs multicore speedups (e.g. 1,2,4,8)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	flag.Parse()
@@ -43,6 +45,7 @@ func main() {
 		parallel.SetDefault(*workers)
 		core.SetWorkers(*workers)
 	}
+	engine.SetZeroCopy(*zerocopy)
 
 	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" {
 		flag.Usage()

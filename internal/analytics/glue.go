@@ -109,12 +109,37 @@ func (TextGlue) TransferMatrix(ctx context.Context, m *linalg.Matrix) (*linalg.M
 
 // TransferVector implements Glue.
 func (g TextGlue) TransferVector(ctx context.Context, v []float64) ([]float64, error) {
-	m := &linalg.Matrix{Rows: 1, Cols: len(v), Stride: len(v), Data: v}
-	out, err := g.TransferMatrix(ctx, m)
+	out, err := g.TransferMatrix(ctx, linalg.VecView(v))
 	if err != nil {
 		return nil, err
 	}
 	return out.Data, nil
+}
+
+// ZeroCopyGlue is the zero-copy UDF boundary: the analytics runtime receives
+// the DBMS's matrix itself (a view over storage or a pooled gather), paying
+// no transfer at all. Safe because the kernels never mutate their operands
+// (view.go's aliasing contract); the engines select it only on the
+// in-process UDF path when the zero-copy knob is on.
+type ZeroCopyGlue struct{}
+
+// Name implements Glue.
+func (ZeroCopyGlue) Name() string { return "zero-copy" }
+
+// TransferMatrix implements Glue: a hand-off, not a copy.
+func (ZeroCopyGlue) TransferMatrix(ctx context.Context, m *linalg.Matrix) (*linalg.Matrix, error) {
+	if err := engine.CheckCtx(ctx); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// TransferVector implements Glue.
+func (ZeroCopyGlue) TransferVector(ctx context.Context, v []float64) ([]float64, error) {
+	if err := engine.CheckCtx(ctx); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // BinaryGlue is the in-process UDF boundary: a flat binary copy.

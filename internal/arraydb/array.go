@@ -120,6 +120,47 @@ func (a *Array2D) Materialize() *linalg.Matrix {
 	return m
 }
 
+// DenseView returns a zero-copy matrix view over the array's storage when
+// the array is backed by a single chunk (its tile is already row-major
+// dense). Multi-chunk arrays report false — their tiles are separate
+// allocations, so a dense consumer needs one of the Dense gathers below.
+func (a *Array2D) DenseView() (*linalg.Matrix, bool) {
+	if len(a.tiles) != 1 {
+		return nil, false
+	}
+	t := a.tiles[0]
+	return linalg.DenseView(t.data, t.r, t.c), true
+}
+
+// GatherRowsDense extracts the given rows, in order, directly into one
+// pooled dense matrix with chunk-aligned copies — a single pass where the
+// old GatherRows(...).Materialize() chain copied every cell twice through a
+// second chunked array. Release the result with linalg.PutMatrix.
+func (a *Array2D) GatherRowsDense(rows []int64) *linalg.Matrix {
+	m := linalg.GetMatrix(len(rows), a.Cols)
+	for k, i := range rows {
+		a.CopyRow(int(i), m.Row(k))
+	}
+	return m
+}
+
+// GatherColsDense extracts the given columns, in order, into one pooled
+// dense matrix: each chunked row is staged once into pooled scratch, then
+// gathered. Release the result with linalg.PutMatrix.
+func (a *Array2D) GatherColsDense(cols []int64) *linalg.Matrix {
+	m := linalg.GetMatrix(a.Rows, len(cols))
+	src := linalg.GetSlice(a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		a.CopyRow(i, src)
+		dst := m.Row(i)
+		for k, j := range cols {
+			dst[k] = src[j]
+		}
+	}
+	linalg.PutSlice(src)
+	return m
+}
+
 // GatherRows builds a new chunked array holding the given rows, in order —
 // the array-native "subarray along a dimension" operation (no join needed).
 func (a *Array2D) GatherRows(rows []int64) *Array2D {
@@ -165,13 +206,14 @@ func (a *Array2D) ColumnMeansP(workers int) []float64 {
 		return means
 	}
 	parallel.ForSplit(workers, a.Cols, func(lo, hi int) {
-		buf := make([]float64, a.Cols)
+		buf := linalg.GetSlice(a.Cols)
 		for i := 0; i < a.Rows; i++ {
 			a.CopyRowRange(i, lo, hi, buf)
 			for j := lo; j < hi; j++ {
 				means[j] += buf[j]
 			}
 		}
+		linalg.PutSlice(buf)
 	})
 	inv := 1 / float64(a.Rows)
 	for j := range means {
@@ -197,7 +239,7 @@ func (a *Array2D) CovarianceP(workers int) *linalg.Matrix {
 		return linalg.NewMatrix(n, n)
 	}
 	means := a.ColumnMeansP(workers)
-	centered := linalg.NewMatrix(a.Rows, n)
+	centered := linalg.GetMatrix(a.Rows, n) // pooled scratch; fully overwritten
 	parallel.ForSplit(workers, a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := centered.Row(i)
@@ -208,6 +250,7 @@ func (a *Array2D) CovarianceP(workers int) *linalg.Matrix {
 		}
 	})
 	c := linalg.MulATAP(centered, workers)
+	linalg.PutMatrix(centered)
 	c.Scale(1 / float64(a.Rows-1))
 	return c
 }
@@ -240,9 +283,9 @@ func (o *ATAOperator) Dim() int { return o.A.Cols }
 // the serial accumulation order, so results are bitwise deterministic.
 func (o *ATAOperator) Apply(x []float64) []float64 {
 	a := o.A
-	y := make([]float64, a.Rows)
+	y := linalg.GetSlice(a.Rows)
 	parallel.ForSplit(o.Workers, a.Rows, func(lo, hi int) {
-		buf := make([]float64, a.Cols)
+		buf := linalg.GetSlice(a.Cols)
 		for i := lo; i < hi; i++ {
 			a.CopyRow(i, buf)
 			s := 0.0
@@ -251,10 +294,11 @@ func (o *ATAOperator) Apply(x []float64) []float64 {
 			}
 			y[i] = s
 		}
+		linalg.PutSlice(buf)
 	})
-	z := make([]float64, a.Cols)
+	z := make([]float64, a.Cols) // retained by Lanczos; must not be pooled
 	parallel.ForSplit(o.Workers, a.Cols, func(lo, hi int) {
-		buf := make([]float64, a.Cols)
+		buf := linalg.GetSlice(a.Cols)
 		for i := 0; i < a.Rows; i++ {
 			a.CopyRowRange(i, lo, hi, buf)
 			yi := y[i]
@@ -262,7 +306,9 @@ func (o *ATAOperator) Apply(x []float64) []float64 {
 				z[j] += yi * buf[j]
 			}
 		}
+		linalg.PutSlice(buf)
 	})
+	linalg.PutSlice(y)
 	return z
 }
 

@@ -213,3 +213,45 @@ func TestCustomChunkSize(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDenseGathersMatchChunkedGathers(t *testing.T) {
+	m := randMatrix(70, 55, 3)
+	a := FromMatrix(m, 16, 16)
+	rows := []int64{0, 3, 17, 64, 69}
+	cols := []int64{54, 0, 16, 31}
+
+	viaChunks := a.GatherRows(rows).Materialize()
+	dense := a.GatherRowsDense(rows)
+	if linalg.MaxAbsDiff(viaChunks, dense) != 0 {
+		t.Fatal("GatherRowsDense diverges from GatherRows+Materialize")
+	}
+	linalg.PutMatrix(dense)
+
+	viaChunks = a.GatherCols(cols).Materialize()
+	dense = a.GatherColsDense(cols)
+	if linalg.MaxAbsDiff(viaChunks, dense) != 0 {
+		t.Fatal("GatherColsDense diverges from GatherCols+Materialize")
+	}
+	linalg.PutMatrix(dense)
+}
+
+func TestDenseViewSingleChunkOnly(t *testing.T) {
+	m := randMatrix(20, 30, 4)
+	single := FromMatrix(m, 64, 64) // one tile holds everything
+	v, ok := single.DenseView()
+	if !ok {
+		t.Fatal("single-chunk array must offer a view")
+	}
+	if linalg.MaxAbsDiff(v, m) != 0 {
+		t.Fatal("view content wrong")
+	}
+	// The view aliases the tile: writes through the array show in the view.
+	single.Set(3, 4, 123.5)
+	if v.At(3, 4) != 123.5 {
+		t.Fatal("view does not alias array storage")
+	}
+	multi := FromMatrix(m, 8, 8)
+	if _, ok := multi.DenseView(); ok {
+		t.Fatal("multi-chunk array must not pretend to be dense")
+	}
+}

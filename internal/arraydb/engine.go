@@ -161,17 +161,33 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 	if len(genes) == 0 {
 		return nil, fmt.Errorf("arraydb: no genes pass function < %d", p.FunctionThreshold)
 	}
-	sub := e.expr.GatherCols(genes)
-	if err := engine.CheckCtx(ctx); err != nil {
-		return nil, err
+	// Zero-copy: the chunk-aligned subarray lands in one pooled dense
+	// matrix in a single pass; the ablation path keeps the historical
+	// GatherCols → Materialize double copy.
+	var x *linalg.Matrix
+	if engine.ZeroCopyEnabled() {
+		x = e.expr.GatherColsDense(genes)
+		if err := engine.CheckCtx(ctx); err != nil {
+			linalg.PutMatrix(x)
+			return nil, err
+		}
+		sw.StartAnalytics()
+	} else {
+		sub := e.expr.GatherCols(genes)
+		if err := engine.CheckCtx(ctx); err != nil {
+			return nil, err
+		}
+		sw.StartAnalytics()
+		x = sub.Materialize()
 	}
 
 	// Regression offload is unsupported on the coprocessor ("the Intel MKL
 	// automatic offload of this operation is currently not fully supported"),
 	// so Q1 always runs on the host, even for the accelerated configuration.
-	sw.StartAnalytics()
-	x := sub.Materialize()
-	fit, err := linalg.LeastSquares(linalg.AddInterceptColumn(x), e.drugResponse)
+	xi := linalg.AddInterceptColumn(x)
+	linalg.PutMatrix(x)
+	fit, err := linalg.LeastSquares(xi, e.drugResponse)
+	linalg.PutMatrix(xi)
 	if err != nil {
 		return nil, err
 	}
@@ -205,24 +221,44 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 	if len(pats) < 2 {
 		return nil, fmt.Errorf("arraydb: fewer than two patients with disease %d", p.DiseaseID)
 	}
-	sub := e.expr.GatherRows(pats)
-	if err := engine.CheckCtx(ctx); err != nil {
-		return nil, err
-	}
-
 	var cov *linalg.Matrix
-	inBytes := int64(sub.Rows) * int64(sub.Cols) * 8
-	outBytes := int64(sub.Cols) * int64(sub.Cols) * 8
-	err := e.runKernel(ctx, &sw, "gemm", inBytes, outBytes, func() error {
-		cov = sub.CovarianceP(e.Workers) // pdgemm-style chunked kernel
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	inBytes := int64(len(pats)) * int64(e.expr.Cols) * 8
+	outBytes := int64(e.expr.Cols) * int64(e.expr.Cols) * 8
+	if engine.ZeroCopyEnabled() {
+		// Zero-copy: gather the patient rows once into pooled dense scratch
+		// and run the shared covariance kernel on it directly. Centering and
+		// accumulation orders match the chunked kernel exactly, so the
+		// answer is bitwise identical.
+		x := e.expr.GatherRowsDense(pats)
+		if err := engine.CheckCtx(ctx); err != nil {
+			linalg.PutMatrix(x)
+			return nil, err
+		}
+		err := e.runKernel(ctx, &sw, "gemm", inBytes, outBytes, func() error {
+			cov = linalg.CovarianceP(x, e.Workers)
+			return nil
+		})
+		linalg.PutMatrix(x)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sub := e.expr.GatherRows(pats)
+		if err := engine.CheckCtx(ctx); err != nil {
+			return nil, err
+		}
+		err := e.runKernel(ctx, &sw, "gemm", inBytes, outBytes, func() error {
+			cov = sub.CovarianceP(e.Workers) // pdgemm-style chunked kernel
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sw.StartDM()
 	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{e.function}, len(pats))
+	linalg.PutMatrix(cov)
 	sw.Stop()
 	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
 }
@@ -239,9 +275,14 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 	if len(pats) < 4 {
 		return nil, fmt.Errorf("arraydb: only %d patients pass the Q3 filter", len(pats))
 	}
-	sub := e.expr.GatherRows(pats)
-	x := sub.Materialize()
+	var x *linalg.Matrix
+	if engine.ZeroCopyEnabled() {
+		x = e.expr.GatherRowsDense(pats) // one pass, pooled
+	} else {
+		x = e.expr.GatherRows(pats).Materialize() // historical double copy
+	}
 	if err := engine.CheckCtx(ctx); err != nil {
+		linalg.PutMatrix(x)
 		return nil, err
 	}
 
@@ -252,6 +293,7 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 		blocks, kerr = bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
 		return kerr
 	})
+	linalg.PutMatrix(x)
 	if err != nil {
 		return nil, err
 	}
@@ -270,16 +312,28 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 	if len(genes) == 0 {
 		return nil, fmt.Errorf("arraydb: no genes pass function < %d", p.FunctionThreshold)
 	}
-	sub := e.expr.GatherCols(genes)
+	// Zero-copy: hand Lanczos a dense operator over one pooled gather
+	// instead of streaming every iteration's mat-vecs through chunk copies.
+	// Both operators accumulate in the same element order, so the singular
+	// values are bitwise identical.
+	var op linalg.LinearOperator
+	var x *linalg.Matrix
+	if engine.ZeroCopyEnabled() {
+		x = e.expr.GatherColsDense(genes)
+		op = linalg.ATAOperator{A: x, Workers: e.Workers}
+	} else {
+		op = NewATAOperatorP(e.expr.GatherCols(genes), e.Workers)
+	}
 	if err := engine.CheckCtx(ctx); err != nil {
+		linalg.PutMatrix(x)
 		return nil, err
 	}
 
 	var sv []float64
-	inBytes := int64(sub.Rows) * int64(sub.Cols) * 8
-	outBytes := int64(p.SVDK) * int64(sub.Cols+1) * 8
+	inBytes := int64(e.expr.Rows) * int64(len(genes)) * 8
+	outBytes := int64(p.SVDK) * int64(len(genes)+1) * 8
 	err := e.runKernel(ctx, &sw, "lanczos", inBytes, outBytes, func() error {
-		eig, kerr := linalg.Lanczos(NewATAOperatorP(sub, e.Workers), p.SVDK,
+		eig, kerr := linalg.Lanczos(op, p.SVDK,
 			linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
 		if kerr != nil {
 			return kerr
@@ -293,6 +347,7 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 		}
 		return nil
 	})
+	linalg.PutMatrix(x)
 	if err != nil {
 		return nil, err
 	}
@@ -312,13 +367,36 @@ func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Resul
 	for i := 0; i < e.numPats; i += step {
 		sampled = append(sampled, int64(i))
 	}
-	sub := e.expr.GatherRows(sampled)
 	means := make([]float64, e.numGen)
-	buf := make([]float64, e.numGen)
-	for i := 0; i < sub.Rows; i++ {
-		sub.CopyRow(i, buf)
-		for j, v := range buf {
-			means[j] += v
+	if engine.ZeroCopyEnabled() {
+		// Zero-copy: stream sampled rows straight off the chunked storage —
+		// as pure views when the array is a single chunk, through one pooled
+		// buffer otherwise. Same ascending-row accumulation order either
+		// way, bitwise-identical means.
+		if v, ok := e.expr.DenseView(); ok {
+			for _, pid := range sampled {
+				for j, x := range v.Row(int(pid)) {
+					means[j] += x
+				}
+			}
+		} else {
+			buf := linalg.GetSlice(e.numGen)
+			for _, pid := range sampled {
+				e.expr.CopyRow(int(pid), buf)
+				for j, v := range buf {
+					means[j] += v
+				}
+			}
+			linalg.PutSlice(buf)
+		}
+	} else {
+		sub := e.expr.GatherRows(sampled)
+		buf := make([]float64, e.numGen)
+		for i := 0; i < sub.Rows; i++ {
+			sub.CopyRow(i, buf)
+			for j, v := range buf {
+				means[j] += v
+			}
 		}
 	}
 	for j := range means {

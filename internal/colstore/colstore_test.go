@@ -8,6 +8,7 @@ import (
 
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
 	"github.com/genbase/genbase/internal/rengine"
 )
 
@@ -275,4 +276,54 @@ func TestUDFRegressionCheaperTransferThanR(t *testing.T) {
 	if ru.Timing.Transfer >= rr.Timing.Transfer {
 		t.Fatalf("UDF transfer %v should be cheaper than text export %v", ru.Timing.Transfer, rr.Timing.Transfer)
 	}
+}
+
+func TestFloatViewAliasesColumn(t *testing.T) {
+	vals := []float64{1.5, 2.5, 3.5}
+	tb := NewTable("t", 3).AddFloat("v", vals)
+	v := tb.FloatView("v")
+	if v.Rows != 3 || v.Cols != 1 || v.At(2, 0) != 3.5 {
+		t.Fatalf("view wrong: %dx%d", v.Rows, v.Cols)
+	}
+	vals[1] = -9 // zero-copy: the view sees source mutations
+	if v.At(1, 0) != -9 {
+		t.Fatal("FloatView copied instead of aliasing")
+	}
+}
+
+func TestPivotDenseFullSelectionIsAView(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{Size: datagen.Small, Seed: 3, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ModeUDF)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m, err := e.pivotMicro(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &m.Data[0] != &e.vals[0] {
+		t.Fatal("full pivot must be a zero-copy view over the value column")
+	}
+	// An identity gene selection (every id, in order) is also served as a
+	// view — the shape a predicate that nothing fails produces.
+	m2, err := e.pivotMicro(ctx, nil, identityIDs(e.numGenes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &m2.Data[0] != &e.vals[0] {
+		t.Fatal("identity gene selection must be a zero-copy view")
+	}
+	// A genuine subset must NOT alias storage (it is a pooled gather).
+	m3, err := e.pivotMicro(ctx, []int64{1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &m3.Data[0] == &e.vals[1*e.numGenes] {
+		t.Fatal("subset pivot must not alias the value column")
+	}
+	linalg.PutMatrix(m3)
 }

@@ -3,10 +3,17 @@
 // dictionary encoding), and operators are vectorized over selection vectors
 // with late materialization. Like the paper's configurations 4–5 it runs in
 // two analytics modes: exporting to an external R (text COPY) or calling R
-// through an in-process UDF interface.
+// through an in-process UDF interface. Float columns are stored as plain
+// aligned []float64 and can be handed to the kernels as zero-copy column
+// views (FloatView); decoding through Materialize is the slow path kept for
+// the compressed integer columns and the -zerocopy=false ablation.
 package colstore
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/genbase/genbase/internal/linalg"
+)
 
 // Encoding names an integer column's physical layout.
 type Encoding uint8
@@ -271,6 +278,14 @@ func (t *Table) Float(name string) []float64 {
 		panic(fmt.Sprintf("colstore: no float column %q in %s", name, t.Name))
 	}
 	return c
+}
+
+// FloatView exposes a float column as an n×1 zero-copy matrix view over the
+// column's backing storage — the kernels read it in place, no decode, no
+// copy. The view aliases the column: see the ownership rules in
+// internal/linalg/view.go.
+func (t *Table) FloatView(name string) *linalg.Matrix {
+	return linalg.DenseView(t.Float(name), t.n, 1)
 }
 
 // GatherFloat gathers a float column through a selection vector.

@@ -42,6 +42,20 @@ type Engine struct {
 
 	numPatients, numGenes, numTerms int
 
+	// Zero-copy path state (DESIGN.md §10): Load stores the microarray
+	// value column patient-major dense, so vals IS the expression matrix in
+	// row-major layout. denseVals records that invariant; fns caches the
+	// decoded gene-function column the Q2 summary joins against.
+	vals      []float64
+	denseVals bool
+	meta      engine.GeneMeta // funcLookup over the decoded function column, boxed once at Load
+
+	// Reusable selection scratch. Queries run one at a time per engine
+	// (the suite/bench contract), and nothing downstream retains these:
+	// answers copy the ids they keep.
+	selScratch []int32
+	idsScratch []int64
+
 	text analytics.Glue
 	bin  analytics.Glue
 }
@@ -84,6 +98,12 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 		}
 	}
 	e.micro = NewTable("microarray", n).AddInt("geneid", geneCol).AddInt("patientid", patCol).AddFloat("value", valCol)
+	// The loop above wrote valCol patient-major dense: row pi of the
+	// expression matrix is valCol[pi*g : (pi+1)*g]. The zero-copy pivot
+	// exploits this; the compressed columns stay authoritative for the
+	// general (slow) path.
+	e.vals = valCol
+	e.denseVals = true
 
 	ids := make([]int64, p)
 	ages := make([]int64, p)
@@ -118,6 +138,7 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 		}
 	}
 	e.goTab = NewTable("go", len(goGene)).AddInt("geneid", goGene).AddInt("goid", goTerm)
+	e.meta = funcLookup{fns}
 
 	e.numPatients, e.numGenes, e.numTerms = p, g, ds.Dims.GOTerms
 	return nil
@@ -144,19 +165,27 @@ func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 	}
 }
 
-// glue returns the boundary used for ordinary analytics calls.
+// glue returns the boundary used for ordinary analytics calls. The text
+// COPY stream is the "+ R" configuration's defining cost and is never
+// bypassed; the in-process UDF hand-off becomes a true zero-copy hand-off
+// when the knob is on (the kernels never mutate their operands).
 func (e *Engine) glue() analytics.Glue {
 	if e.mode == ModeUDF {
+		if engine.ZeroCopyEnabled() {
+			return analytics.ZeroCopyGlue{}
+		}
 		return e.bin
 	}
 	return e.text
 }
 
 // selectGeneIDs vectorized-scans gene metadata (function predicate tested
-// per dictionary code or run, not per row).
+// per dictionary code or run, not per row). The selection vector and id
+// list live in engine scratch: valid until the next query.
 func (e *Engine) selectGeneIDs(thr int64) []int64 {
-	sel := e.genes.Int("function").Select(func(v int64) bool { return v < thr }, nil)
-	return e.genes.Int("geneid").Gather(sel, nil)
+	e.selScratch = e.genes.Int("function").Select(func(v int64) bool { return v < thr }, e.selScratch[:0])
+	e.idsScratch = e.genes.Int("geneid").Gather(e.selScratch, e.idsScratch[:0])
+	return e.idsScratch
 }
 
 // pivotMicro builds the dense matrix for the given patient and gene id sets
@@ -165,6 +194,11 @@ func (e *Engine) selectGeneIDs(thr int64) []int64 {
 func (e *Engine) pivotMicro(ctx context.Context, patientIDs, geneIDs []int64) (*linalg.Matrix, error) {
 	if err := engine.CheckCtx(ctx); err != nil {
 		return nil, err
+	}
+	if e.denseVals && engine.ZeroCopyEnabled() {
+		// Zero-copy pivot over the patient-major dense value column:
+		// identity selections are views, subsets are pooled gathers.
+		return engine.PivotDense(ctx, e.vals, e.numPatients, e.numGenes, patientIDs, geneIDs)
 	}
 	if patientIDs == nil {
 		patientIDs = identityIDs(e.numPatients)
@@ -233,17 +267,24 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 	if err != nil {
 		return nil, err
 	}
+	pivot := x // storage-side matrix: pooled or a view; released below
 	y := e.pats.Float("drugresponse")
 
 	sw.StartTransfer()
 	if x, err = e.glue().TransferMatrix(ctx, x); err != nil {
 		return nil, err
 	}
+	if x != pivot {
+		linalg.PutMatrix(pivot)
+	}
 	if y, err = e.glue().TransferVector(ctx, y); err != nil {
 		return nil, err
 	}
 	sw.StartAnalytics()
-	fit, err := linalg.LeastSquares(linalg.AddInterceptColumn(x), y)
+	xi := linalg.AddInterceptColumn(x)
+	linalg.PutMatrix(x)
+	fit, err := linalg.LeastSquares(xi, y)
+	linalg.PutMatrix(xi)
 	if err != nil {
 		return nil, err
 	}
@@ -268,8 +309,9 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
 	var sw engine.StopWatch
 	sw.StartDM()
-	sel := e.pats.Int("diseaseid").Select(func(v int64) bool { return v == p.DiseaseID }, nil)
-	pats := e.pats.Int("patientid").Gather(sel, nil)
+	e.selScratch = e.pats.Int("diseaseid").Select(func(v int64) bool { return v == p.DiseaseID }, e.selScratch[:0])
+	e.idsScratch = e.pats.Int("patientid").Gather(e.selScratch, e.idsScratch[:0])
+	pats := e.idsScratch
 	if len(pats) < 2 {
 		return nil, fmt.Errorf("colstore: fewer than two patients with disease %d", p.DiseaseID)
 	}
@@ -277,17 +319,26 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 	if err != nil {
 		return nil, err
 	}
+	pivot := x
 
 	sw.StartTransfer()
 	if x, err = e.glue().TransferMatrix(ctx, x); err != nil {
 		return nil, err
 	}
+	if x != pivot {
+		linalg.PutMatrix(pivot)
+	}
 	sw.StartAnalytics()
 	cov := linalg.CovarianceP(x, e.Workers)
+	linalg.PutMatrix(x)
 
 	sw.StartDM()
-	fns := e.genes.Int("function").Materialize()
-	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{fns}, len(pats))
+	meta := e.meta
+	if !engine.ZeroCopyEnabled() {
+		meta = funcLookup{e.genes.Int("function").Materialize()} // the historical decode path
+	}
+	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, meta, len(pats))
+	linalg.PutMatrix(cov)
 	sw.Stop()
 	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
 }
@@ -296,9 +347,10 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 	var sw engine.StopWatch
 	sw.StartDM()
 	age := e.pats.Int("age")
-	sel := e.pats.Int("gender").Select(func(v int64) bool { return v == int64(p.Gender) }, nil)
-	sel = age.SelectRefine(func(v int64) bool { return v < p.MaxAge }, sel)
-	pats := e.pats.Int("patientid").Gather(sel, nil)
+	e.selScratch = e.pats.Int("gender").Select(func(v int64) bool { return v == int64(p.Gender) }, e.selScratch[:0])
+	e.selScratch = age.SelectRefine(func(v int64) bool { return v < p.MaxAge }, e.selScratch)
+	e.idsScratch = e.pats.Int("patientid").Gather(e.selScratch, e.idsScratch[:0])
+	pats := e.idsScratch
 	if len(pats) < 4 {
 		return nil, fmt.Errorf("colstore: only %d patients pass the Q3 filter", len(pats))
 	}
@@ -306,6 +358,7 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 	if err != nil {
 		return nil, err
 	}
+	pivot := x
 
 	var blocks []bicluster.Bicluster
 	if e.mode == ModeUDF {
@@ -318,6 +371,7 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 		sw.StartAnalytics()
 		blocks, err = bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
 	}
+	linalg.PutMatrix(pivot)
 	if err != nil {
 		return nil, err
 	}
@@ -373,13 +427,18 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 	if err != nil {
 		return nil, err
 	}
+	pivot := a
 
 	sw.StartTransfer()
 	if a, err = e.glue().TransferMatrix(ctx, a); err != nil {
 		return nil, err
 	}
+	if a != pivot {
+		linalg.PutMatrix(pivot)
+	}
 	sw.StartAnalytics()
 	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
+	linalg.PutMatrix(a)
 	if err != nil {
 		return nil, err
 	}
@@ -395,23 +454,49 @@ func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Resul
 	var sw engine.StopWatch
 	sw.StartDM()
 	step := int64(p.SamplePatientStep())
-	sel := e.micro.Int("patientid").Select(func(v int64) bool { return v%step == 0 }, nil)
-	gc := e.micro.Int("geneid")
-	vals := e.micro.Float("value")
 	sums := make([]float64, e.numGenes)
-	counts := make([]int64, e.numGenes)
-	for _, i := range sel {
-		g := gc.At(int(i))
-		sums[g] += vals[i]
-		counts[g]++
-	}
 	sampled := 0
 	for pid := int64(0); pid < int64(e.numPatients); pid += step {
 		sampled++
 	}
-	for j := range sums {
-		if counts[j] > 0 {
-			sums[j] /= float64(counts[j])
+	if e.denseVals && engine.ZeroCopyEnabled() {
+		// Zero-copy: stream the sampled patients' contiguous rows straight
+		// from the dense value column. Per gene the contributions arrive in
+		// ascending patient order, exactly as the selection-vector path
+		// accumulates them, so the means are bitwise identical.
+		g := e.numGenes
+		k := 0
+		for pid := 0; pid < e.numPatients; pid += int(step) {
+			if k%64 == 0 {
+				if err := engine.CheckCtx(ctx); err != nil {
+					return nil, err
+				}
+			}
+			k++
+			row := e.vals[pid*g : (pid+1)*g]
+			for j, v := range row {
+				sums[j] += v
+			}
+		}
+		if sampled > 0 {
+			for j := range sums {
+				sums[j] /= float64(sampled)
+			}
+		}
+	} else {
+		sel := e.micro.Int("patientid").Select(func(v int64) bool { return v%step == 0 }, nil)
+		gc := e.micro.Int("geneid")
+		vals := e.micro.Float("value")
+		counts := make([]int64, e.numGenes)
+		for _, i := range sel {
+			g := gc.At(int(i))
+			sums[g] += vals[i]
+			counts[g]++
+		}
+		for j := range sums {
+			if counts[j] > 0 {
+				sums[j] /= float64(counts[j])
+			}
 		}
 	}
 	// Group GO membership by term.

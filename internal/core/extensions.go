@@ -210,11 +210,12 @@ func runApproxSVDOnce(ctx context.Context, ds *datagen.Dataset, p engine.Params,
 			genes = append(genes, int64(g.ID))
 		}
 	}
-	sub := arr.GatherCols(genes).Materialize()
+	sub := arr.GatherColsDense(genes) // single-pass dense gather (zero-copy path)
 	sw.StartAnalytics()
 	// PowerIters −1 selects q = 0: the pure single-sketch variant, the
 	// cheapest member of the family (worst-case error ~1% on this data).
 	res, err := linalg.RandomizedSVD(sub, p.SVDK, linalg.RandSVDOptions{Seed: p.Seed, PowerIters: -1, Oversample: 10})
+	linalg.PutMatrix(sub)
 	sw.Stop()
 	if err != nil {
 		out.Err = err

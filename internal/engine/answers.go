@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/genbase/genbase/internal/bicluster"
@@ -161,14 +162,19 @@ type GeneMeta interface {
 func SummarizeCovariance(cov *linalg.Matrix, topFrac float64, meta GeneMeta, numPatients int) *CovarianceAnswer {
 	n := cov.Rows
 	total := n * (n - 1) / 2
-	abs := make([]float64, 0, total)
+	// The |cov| ranking buffer is pooled scratch (it is O(genes²)) and the
+	// sorts are allocation-free generic sorts, so the shared answer assembly
+	// adds almost nothing to a query's allocation count.
+	abs := linalg.GetSlice(total)
+	k := 0
 	for i := 0; i < n; i++ {
 		row := cov.Row(i)
 		for j := i + 1; j < n; j++ {
-			abs = append(abs, math.Abs(row[j]))
+			abs[k] = math.Abs(row[j])
+			k++
 		}
 	}
-	sort.Float64s(abs)
+	slices.Sort(abs)
 	keep := int(float64(total) * topFrac)
 	if keep < 1 {
 		keep = 1
@@ -177,13 +183,23 @@ func SummarizeCovariance(cov *linalg.Matrix, topFrac float64, meta GeneMeta, num
 		keep = total
 	}
 	threshold := abs[total-keep]
+	linalg.PutSlice(abs)
 
 	ans := &CovarianceAnswer{NumPatients: numPatients, Threshold: threshold}
 	type scored struct {
 		i, j int
 		c    float64
 	}
-	var top []scored
+	pruneLess := func(x, y scored) int {
+		if d := math.Abs(y.c) - math.Abs(x.c); d != 0 {
+			if d > 0 {
+				return 1
+			}
+			return -1
+		}
+		return 0
+	}
+	top := make([]scored, 0, 4097)
 	for i := 0; i < n; i++ {
 		row := cov.Row(i)
 		for j := i + 1; j < n; j++ {
@@ -195,24 +211,28 @@ func SummarizeCovariance(cov *linalg.Matrix, topFrac float64, meta GeneMeta, num
 			ans.AbsCovSum += a
 			top = append(top, scored{i, j, row[j]})
 			if len(top) > 4096 {
-				sort.Slice(top, func(x, y int) bool { return math.Abs(top[x].c) > math.Abs(top[y].c) })
+				slices.SortFunc(top, pruneLess)
 				top = top[:64]
 			}
 		}
 	}
-	sort.Slice(top, func(x, y int) bool {
-		ax, ay := math.Abs(top[x].c), math.Abs(top[y].c)
+	slices.SortFunc(top, func(x, y scored) int {
+		ax, ay := math.Abs(x.c), math.Abs(y.c)
 		if ax != ay {
-			return ax > ay
+			if ax > ay {
+				return -1
+			}
+			return 1
 		}
-		if top[x].i != top[y].i {
-			return top[x].i < top[y].i
+		if x.i != y.i {
+			return x.i - y.i
 		}
-		return top[x].j < top[y].j
+		return x.j - y.j
 	})
 	if len(top) > 20 {
 		top = top[:20]
 	}
+	ans.TopPairs = make([]GenePair, 0, len(top))
 	for _, s := range top {
 		ans.TopPairs = append(ans.TopPairs, GenePair{
 			GeneA: s.i, GeneB: s.j, Cov: s.c,

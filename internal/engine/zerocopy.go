@@ -1,0 +1,20 @@
+package engine
+
+import "sync/atomic"
+
+// The zero-copy ablation knob (DESIGN.md §10). When enabled — the default —
+// engines hand the analytics kernels views over their own storage (or pooled
+// single-copy gathers) instead of materializing row-by-row through the
+// Value/Matrix copy chain. Answers are bitwise identical either way; only
+// the data path changes. genbase-bench -zerocopy=false and the pipeline
+// benchmarks use the knob to keep the historical copy path measurable.
+
+// zeroCopyOff is inverted storage so the zero value of the package means
+// "enabled by default".
+var zeroCopyOff atomic.Bool
+
+// SetZeroCopy toggles the zero-copy data path process-wide.
+func SetZeroCopy(on bool) { zeroCopyOff.Store(!on) }
+
+// ZeroCopyEnabled reports whether engines should take the zero-copy path.
+func ZeroCopyEnabled() bool { return !zeroCopyOff.Load() }

@@ -10,23 +10,39 @@ func ColumnMeans(a *Matrix) []float64 { return ColumnMeansP(a, 0) }
 // so the result is bitwise identical at any worker count.
 func ColumnMeansP(a *Matrix, workers int) []float64 {
 	means := make([]float64, a.Cols)
+	columnMeansInto(means, a, workers)
+	return means
+}
+
+// columnMeansInto computes column means into dst (len a.Cols, overwritten).
+// Same accumulation order as ColumnMeansP — bitwise identical. The serial
+// path calls the range body directly (no closure, no allocation).
+func columnMeansInto(dst []float64, a *Matrix, workers int) {
+	for j := range dst {
+		dst[j] = 0
+	}
 	if a.Rows == 0 {
-		return means
+		return
 	}
 	w := gemmWorkers(workers, int64(a.Rows)*int64(a.Cols))
-	parallel.ForSplit(w, a.Cols, func(lo, hi int) {
-		for i := 0; i < a.Rows; i++ {
-			ri := a.Row(i)
-			for j := lo; j < hi; j++ {
-				means[j] += ri[j]
-			}
-		}
-	})
-	inv := 1 / float64(a.Rows)
-	for j := range means {
-		means[j] *= inv
+	if w <= 1 {
+		columnSumRange(dst, a, 0, a.Cols)
+	} else {
+		parallel.ForSplit(w, a.Cols, func(lo, hi int) { columnSumRange(dst, a, lo, hi) })
 	}
-	return means
+	inv := 1 / float64(a.Rows)
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+func columnSumRange(dst []float64, a *Matrix, lo, hi int) {
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Row(i)
+		for j := lo; j < hi; j++ {
+			dst[j] += ri[j]
+		}
+	}
 }
 
 // CenterColumns returns a copy of a with each column shifted to zero mean.
@@ -35,18 +51,33 @@ func CenterColumns(a *Matrix) *Matrix { return CenterColumnsP(a, 0) }
 // CenterColumnsP is CenterColumns with an explicit worker count (rows are
 // independent, so the partition cannot affect the result).
 func CenterColumnsP(a *Matrix, workers int) *Matrix {
-	means := ColumnMeansP(a, workers)
 	out := NewMatrix(a.Rows, a.Cols)
-	w := gemmWorkers(workers, int64(a.Rows)*int64(a.Cols))
-	parallel.ForSplit(w, a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ra, ro := a.Row(i), out.Row(i)
-			for j, v := range ra {
-				ro[j] = v - means[j]
-			}
-		}
-	})
+	centerColumnsInto(out, a, workers)
 	return out
+}
+
+// centerColumnsInto centers a's columns into out (same shape, fully
+// overwritten). Means come from pooled scratch; the arithmetic and its order
+// match CenterColumnsP exactly.
+func centerColumnsInto(out *Matrix, a *Matrix, workers int) {
+	means := GetSlice(a.Cols)
+	columnMeansInto(means, a, workers)
+	w := gemmWorkers(workers, int64(a.Rows)*int64(a.Cols))
+	if w <= 1 {
+		centerRange(out, a, means, 0, a.Rows)
+	} else {
+		parallel.ForSplit(w, a.Rows, func(lo, hi int) { centerRange(out, a, means, lo, hi) })
+	}
+	PutSlice(means)
+}
+
+func centerRange(out, a *Matrix, means []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ra, ro := a.Row(i), out.Row(i)
+		for j, v := range ra {
+			ro[j] = v - means[j]
+		}
+	}
 }
 
 // Covariance returns the unbiased sample covariance matrix of the columns of
@@ -56,13 +87,17 @@ func Covariance(a *Matrix) *Matrix { return CovarianceP(a, 0) }
 
 // CovarianceP is Covariance with an explicit worker count; every stage
 // (column means, centering, the Gram product) runs on the shared pool and is
-// bitwise deterministic across worker counts.
+// bitwise deterministic across worker counts. The centered intermediate is
+// pooled scratch, so a warm covariance loop allocates only the output Gram
+// matrix.
 func CovarianceP(a *Matrix, workers int) *Matrix {
 	if a.Rows < 2 {
 		return NewMatrix(a.Cols, a.Cols)
 	}
-	x := CenterColumnsP(a, workers)
+	x := GetMatrix(a.Rows, a.Cols)
+	centerColumnsInto(x, a, workers)
 	c := MulATAP(x, workers)
+	PutMatrix(x)
 	c.Scale(1 / float64(a.Rows-1))
 	return c
 }

@@ -90,9 +90,28 @@ func MulBlockedP(a, b *Matrix, workers int) *Matrix {
 	n, m, p := a.Rows, a.Cols, b.Cols
 	skipZeros := allFinite(b)
 	w := gemmWorkers(workers, 2*int64(n)*int64(m)*int64(p))
+	// Packing stage: when B is a strided view its rows are far apart in
+	// memory, so each worker packs the current k-slab of B into contiguous
+	// pooled scratch once and streams all its C rows against the packed
+	// copy. Packing copies values verbatim and the accumulation loop below
+	// is unchanged, so results are bitwise identical with or without it;
+	// compact operands skip the pack (their rows are already contiguous).
+	pack := !b.IsCompact() && p > 0
 	parallel.ForSplit(w, n, func(lo, hi int) {
+		var packed []float64
+		if pack {
+			packed = GetSlice(blockSize * p)
+		}
 		for kk := 0; kk < m; kk += blockSize {
 			kmax := min(kk+blockSize, m)
+			// Row k of B lives at bbuf[(k-b0)*bstride : ...+p].
+			bbuf, bstride, b0 := b.Data, b.Stride, 0
+			if pack {
+				for k := kk; k < kmax; k++ {
+					copy(packed[(k-kk)*p:(k-kk)*p+p], b.Row(k))
+				}
+				bbuf, bstride, b0 = packed, p, kk
+			}
 			for ii := lo; ii < hi; ii += blockSize {
 				imax := min(ii+blockSize, hi)
 				for i := ii; i < imax; i++ {
@@ -103,13 +122,16 @@ func MulBlockedP(a, b *Matrix, workers int) *Matrix {
 						if aik == 0 && skipZeros {
 							continue
 						}
-						bk := b.Row(k)
+						bk := bbuf[(k-b0)*bstride : (k-b0)*bstride+p]
 						for j := 0; j < p; j++ {
 							ci[j] += aik * bk[j]
 						}
 					}
 				}
 			}
+		}
+		if pack {
+			PutSlice(packed)
 		}
 	})
 	return c
@@ -130,30 +152,43 @@ func MulATA(a *Matrix) *Matrix { return MulATAP(a, 0) }
 // worker count.
 func MulATAP(a *Matrix, workers int) *Matrix {
 	n := a.Cols
-	c := NewMatrix(n, n)
+	// The Gram output is pooled: engines on the zero-copy path PutMatrix the
+	// covariance/Gram result once it is summarized; callers that keep it
+	// simply never Put (the arena only recycles what is returned to it).
+	c := GetMatrixZeroed(n, n)
 	skipZeros := allFinite(a)
 	w := gemmWorkers(workers, int64(a.Rows)*int64(n)*int64(n))
-	parallel.ForSplitWeighted(w, n, func(j int) float64 { return float64(n - j) }, func(lo, hi int) {
-		for i := 0; i < a.Rows; i++ {
-			ri := a.Row(i)
-			for j := lo; j < hi; j++ {
-				v := ri[j]
-				if v == 0 && skipZeros {
-					continue
-				}
-				cj := c.Row(j)
-				for k := j; k < n; k++ {
-					cj[k] += v * ri[k]
-				}
-			}
-		}
-	})
+	if w <= 1 {
+		gramRange(c, a, 0, n, skipZeros)
+	} else {
+		parallel.ForSplitWeighted(w, n, func(j int) float64 { return float64(n - j) },
+			func(lo, hi int) { gramRange(c, a, lo, hi, skipZeros) })
+	}
 	for j := 0; j < n; j++ {
 		for k := j + 1; k < n; k++ {
 			c.Set(k, j, c.At(j, k))
 		}
 	}
 	return c
+}
+
+// gramRange accumulates the upper-triangle Gram rows [lo, hi) of AᵀA; the
+// serial and parallel paths share it (same element order either way).
+func gramRange(c, a *Matrix, lo, hi int, skipZeros bool) {
+	n := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Row(i)
+		for j := lo; j < hi; j++ {
+			v := ri[j]
+			if v == 0 && skipZeros {
+				continue
+			}
+			cj := c.Row(j)
+			for k := j; k < n; k++ {
+				cj[k] += v * ri[k]
+			}
+		}
+	}
 }
 
 // MulABT computes A·Bᵀ. Both inner dimensions must match (a.Cols == b.Cols).

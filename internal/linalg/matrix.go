@@ -17,13 +17,19 @@ import (
 	"math"
 )
 
-// Matrix is a dense row-major matrix of float64.
+// Matrix is a dense row-major matrix of float64. It doubles as the
+// zero-copy view type: Data may alias storage owned elsewhere (see view.go),
+// in which case Stride can exceed Cols. Rows are always contiguous slices.
 type Matrix struct {
 	Rows, Cols int
 	// Stride is the distance in Data between vertically adjacent elements.
 	// For a freshly allocated matrix Stride == Cols; views may differ.
 	Stride int
 	Data   []float64
+
+	// pooled marks matrices minted by GetMatrix so PutMatrix recycles only
+	// arena-owned backing stores, never a view over engine storage.
+	pooled bool
 }
 
 // NewMatrix allocates a zeroed r×c matrix.

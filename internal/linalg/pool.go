@@ -1,0 +1,172 @@
+package linalg
+
+import "sync"
+
+// pool.go is the scratch-buffer arena behind the zero-copy analytics path
+// (DESIGN.md §10). Hot kernels and the engines' storage→matrix pivots draw
+// their scratch from size-classed freelists instead of the heap, so a warm
+// query loop allocates nothing for intermediates: the packing stage of the
+// GEMM, the centered matrix inside Covariance, the per-worker row buffers of
+// the chunked-array kernels, and the pivot outputs of every engine all
+// recycle through here.
+//
+// The freelists are mutex-guarded stacks rather than sync.Pools: a sync.Pool
+// Put must box the slice header, which itself allocates — one object per
+// recycle on the hottest path, exactly what the arena exists to remove. The
+// mutex is uncontended in practice (kernels Get/Put at coarse granularity)
+// and each class retains a bounded number of buffers so the arena cannot
+// hold the heap hostage.
+//
+// Ownership rules:
+//
+//   - GetSlice/GetMatrix hand out buffers the CALLER owns until the matching
+//     Put. Putting a buffer twice, or using it after Put, is a data race.
+//   - PutMatrix recycles only matrices minted by GetMatrix (tracked by an
+//     unexported flag); matrices that view engine storage, Clone results, and
+//     NewMatrix results pass through it as a no-op. Callers may therefore
+//     unconditionally Put whatever a pivot returned — a zero-copy view is
+//     never recycled out from under its backing store.
+//   - Buffers are NOT zeroed on Get by default: GetSlice/GetMatrix are for
+//     full-overwrite paths. Use GetMatrixZeroed when the consumer reads
+//     cells it did not write (e.g. sparse pivot fills).
+
+// minClassBits is the smallest pooled size class (1<<6 floats = 512 B).
+// Requests below it are served by plain make and dropped on Put — tiny
+// buffers are cheap to allocate and would otherwise fragment the classes.
+const minClassBits = 6
+
+// maxClassBits caps pooling at 1<<28 floats (2 GiB); anything larger is
+// allocated directly.
+const maxClassBits = 28
+
+// classRetain bounds how many free buffers one class keeps; beyond it, Put
+// drops the buffer for the GC. Retention shrinks with size so worst-case
+// arena residency stays bounded in bytes, not just counts: the big classes
+// (Gram outputs, |cov| ranking buffers, pivot gathers at scale) keep at
+// most one spare each.
+func classRetain(classBits int) int {
+	switch {
+	case classBits >= 23: // ≥ 64 MiB
+		return 1
+	case classBits >= 20: // ≥ 8 MiB
+		return 2
+	default:
+		return 16
+	}
+}
+
+type sliceClass struct {
+	mu   sync.Mutex
+	free [][]float64
+}
+
+var slicePools [maxClassBits - minClassBits + 1]sliceClass
+
+// matrixStructs recycles Matrix headers alongside the backing buffers so
+// GetMatrix is fully allocation-free in steady state.
+var matrixStructs struct {
+	mu   sync.Mutex
+	free []*Matrix
+}
+
+// sizeClass returns the pool index whose capacity 1<<(minClassBits+idx)
+// holds n, or -1 when n is outside the pooled range.
+func sizeClass(n int) int {
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	c := 0
+	for (1 << (minClassBits + c)) < n {
+		c++
+	}
+	return c
+}
+
+// GetSlice returns a []float64 of length n with UNSPECIFIED contents, drawn
+// from the arena when possible. The caller owns it until PutSlice.
+func GetSlice(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n < 1<<minClassBits {
+		return make([]float64, n)
+	}
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	p := &slicePools[c]
+	p.mu.Lock()
+	if len(p.free) > 0 {
+		s := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.mu.Unlock()
+		return s[:n]
+	}
+	p.mu.Unlock()
+	return make([]float64, n, 1<<(minClassBits+c))
+}
+
+// PutSlice returns a slice obtained from GetSlice to the arena. Slices whose
+// capacity is not an exact size class (anything not minted by GetSlice) are
+// dropped rather than pooled, so a stray Put cannot poison the arena.
+func PutSlice(s []float64) {
+	c := cap(s)
+	if c < 1<<minClassBits || c > 1<<maxClassBits || c&(c-1) != 0 {
+		return
+	}
+	idx := sizeClass(c)
+	p := &slicePools[idx]
+	p.mu.Lock()
+	if len(p.free) < classRetain(minClassBits+idx) {
+		p.free = append(p.free, s[:c])
+	}
+	p.mu.Unlock()
+}
+
+// GetMatrix returns a pooled r×c matrix with UNSPECIFIED contents. Use it
+// for full-overwrite fills; use GetMatrixZeroed when unwritten cells must
+// read as zero.
+func GetMatrix(r, c int) *Matrix {
+	matrixStructs.mu.Lock()
+	var m *Matrix
+	if n := len(matrixStructs.free); n > 0 {
+		m = matrixStructs.free[n-1]
+		matrixStructs.free = matrixStructs.free[:n-1]
+	}
+	matrixStructs.mu.Unlock()
+	if m == nil {
+		m = &Matrix{}
+	}
+	*m = Matrix{Rows: r, Cols: c, Stride: c, Data: GetSlice(r * c), pooled: true}
+	if m.Data == nil {
+		m.Data = []float64{}
+	}
+	return m
+}
+
+// GetMatrixZeroed is GetMatrix with all cells set to zero.
+func GetMatrixZeroed(r, c int) *Matrix {
+	m := GetMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// PutMatrix recycles a matrix minted by GetMatrix; any other matrix —
+// including views over engine storage — is ignored, so callers can Put
+// whatever a zero-copy pivot returned without checking its provenance.
+func PutMatrix(m *Matrix) {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false // guard against double-Put recycling a live buffer
+	PutSlice(m.Data)
+	m.Data = nil
+	matrixStructs.mu.Lock()
+	if len(matrixStructs.free) < 64 {
+		matrixStructs.free = append(matrixStructs.free, m)
+	}
+	matrixStructs.mu.Unlock()
+}

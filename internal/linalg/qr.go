@@ -17,14 +17,23 @@ type QR struct {
 // numerically negligible) pivot.
 var ErrRankDeficient = errors.New("linalg: matrix is rank deficient")
 
-// NewQR factors A (m×n, m ≥ n) with Householder reflections. A is not modified.
+// NewQR factors A (m×n, m ≥ n) with Householder reflections. A is not
+// modified. The factor storage comes from the scratch arena; callers that
+// are done with the factorization may Release it (LeastSquares does), and
+// callers that keep it simply let the GC have it.
 func NewQR(a *Matrix) (*QR, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		return nil, errors.New("linalg: QR requires rows >= cols")
 	}
-	qr := a.Clone()
-	tau := make([]float64, n)
+	qr := GetMatrix(m, n)
+	for i := 0; i < m; i++ {
+		copy(qr.Row(i), a.Row(i))
+	}
+	tau := GetSlice(n)
+	for i := range tau {
+		tau[i] = 0
+	}
 	for k := 0; k < n; k++ {
 		// Norm of the k-th column below (and including) the diagonal.
 		norm := 0.0
@@ -59,6 +68,14 @@ func NewQR(a *Matrix) (*QR, error) {
 		}
 	}
 	return &QR{qr: qr, tau: tau}, nil
+}
+
+// Release returns the factor storage to the scratch arena. The QR must not
+// be used afterwards.
+func (f *QR) Release() {
+	PutMatrix(f.qr)
+	PutSlice(f.tau)
+	f.qr, f.tau = nil, nil
 }
 
 // R returns the upper-triangular factor (n×n).
@@ -103,11 +120,17 @@ func (f *QR) Q() *Matrix {
 // QTVec applies Qᵀ to a vector of length m, returning the first n entries
 // (enough for a least-squares solve) followed by the residual part.
 func (f *QR) QTVec(b []float64) []float64 {
+	y := make([]float64, f.qr.Rows)
+	f.qtvecInto(y, b)
+	return y
+}
+
+// qtvecInto is QTVec into caller-owned storage (len m, fully overwritten).
+func (f *QR) qtvecInto(y, b []float64) {
 	m, n := f.qr.Rows, f.qr.Cols
 	if len(b) != m {
 		panic("linalg: QTVec length mismatch")
 	}
-	y := make([]float64, m)
 	copy(y, b)
 	for k := 0; k < n; k++ {
 		if f.qr.At(k, k) == 0 {
@@ -122,15 +145,16 @@ func (f *QR) QTVec(b []float64) []float64 {
 			y[i] += s * f.qr.At(i, k)
 		}
 	}
-	return y
 }
 
 // Solve returns the least-squares solution x minimizing ‖Ax − b‖₂.
 func (f *QR) Solve(b []float64) ([]float64, error) {
 	n := f.qr.Cols
-	y := f.QTVec(b)
+	y := GetSlice(f.qr.Rows)
+	f.qtvecInto(y, b)
 	x := make([]float64, n)
 	copy(x, y[:n])
+	PutSlice(y)
 	// Back-substitute R x = y.
 	for k := n - 1; k >= 0; k-- {
 		rkk := f.tau[k]
@@ -153,21 +177,26 @@ type LeastSquaresResult struct {
 }
 
 // LeastSquares fits b ≈ A·x with Householder QR and reports fit quality.
+// All intermediates (the factor copy, Qᵀb, the prediction vector) are
+// pooled, so a warm fit allocates only the returned coefficients.
 func LeastSquares(a *Matrix, b []float64) (*LeastSquaresResult, error) {
 	f, err := NewQR(a)
 	if err != nil {
 		return nil, err
 	}
 	x, err := f.Solve(b)
+	f.Release()
 	if err != nil {
 		return nil, err
 	}
-	pred := MatVec(a, x)
+	pred := GetSlice(a.Rows)
+	matVecInto(pred, a, x, 0)
 	ssRes := 0.0
 	for i, v := range b {
 		d := v - pred[i]
 		ssRes += d * d
 	}
+	PutSlice(pred)
 	mb := Mean(b)
 	ssTot := 0.0
 	for _, v := range b {
@@ -181,9 +210,11 @@ func LeastSquares(a *Matrix, b []float64) (*LeastSquaresResult, error) {
 	return &LeastSquaresResult{Coefficients: x, Residual: math.Sqrt(ssRes), RSquared: r2}, nil
 }
 
-// AddInterceptColumn returns [1 | A]: a copy of A with a leading column of ones.
+// AddInterceptColumn returns [1 | A]: a copy of A with a leading column of
+// ones. The copy is pooled — callers on a hot path should PutMatrix it when
+// the fit is done (leaking it to the GC is harmless, just unrecycled).
 func AddInterceptColumn(a *Matrix) *Matrix {
-	out := NewMatrix(a.Rows, a.Cols+1)
+	out := GetMatrix(a.Rows, a.Cols+1)
 	for i := 0; i < a.Rows; i++ {
 		ro := out.Row(i)
 		ro[0] = 1

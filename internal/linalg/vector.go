@@ -89,17 +89,29 @@ func MatVec(a *Matrix, x []float64) []float64 { return MatVecP(a, x, 0) }
 // partitioned across workers and each y[i] is one serial dot product, so the
 // result is bitwise identical at any worker count.
 func MatVecP(a *Matrix, x []float64, workers int) []float64 {
+	y := make([]float64, a.Rows)
+	matVecInto(y, a, x, workers)
+	return y
+}
+
+// matVecInto is MatVecP into caller-owned storage (len a.Rows, fully
+// overwritten) — the pooled-scratch entry point.
+func matVecInto(y []float64, a *Matrix, x []float64, workers int) {
 	if len(x) != a.Cols {
 		panic("linalg: matvec dimension mismatch")
 	}
-	y := make([]float64, a.Rows)
 	w := gemmWorkers(workers, 2*int64(a.Rows)*int64(a.Cols))
-	parallel.ForSplit(w, a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] = Dot(a.Row(i), x)
-		}
-	})
-	return y
+	if w <= 1 {
+		matVecRange(y, a, x, 0, a.Rows)
+	} else {
+		parallel.ForSplit(w, a.Rows, func(lo, hi int) { matVecRange(y, a, x, lo, hi) })
+	}
+}
+
+func matVecRange(y []float64, a *Matrix, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] = Dot(a.Row(i), x)
+	}
 }
 
 // MatTVec computes y = Aᵀ·x. len(x) must equal A.Rows; the result has A.Cols entries.

@@ -267,17 +267,10 @@ func (e *Engine) joinPivotJob(ctx context.Context, geneIDs, patientIDs []int64) 
 			if pIdx != nil {
 				ri = pIdx[p]
 			}
-			row := m.Row(ri)
-			fields := strings.Split(line[tab+1:], ",")
-			if len(fields) != k {
-				return nil, fmt.Errorf("mapreduce: row has %d fields, want %d", len(fields), k)
-			}
-			for j, f := range fields {
-				v, err := strconv.ParseFloat(f, 64)
-				if err != nil {
-					return nil, err
-				}
-				row[j] = v
+			// Columnar decode straight into the matrix row — no []string
+			// intermediary (see parseFloatFields).
+			if err := parseFloatFields(line[tab+1:], m.Row(ri)); err != nil {
+				return nil, err
 			}
 		}
 	}

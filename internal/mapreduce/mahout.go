@@ -44,17 +44,37 @@ func parseRowLine(line string, dst []float64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	fields := strings.Split(line[tab+1:], ",")
-	if len(fields) != len(dst) {
-		return 0, fmt.Errorf("mapreduce: row has %d fields, want %d", len(fields), len(dst))
-	}
-	for j, f := range fields {
-		dst[j], err = strconv.ParseFloat(f, 64)
-		if err != nil {
-			return 0, err
-		}
+	if err := parseFloatFields(line[tab+1:], dst); err != nil {
+		return 0, err
 	}
 	return id, nil
+}
+
+// parseFloatFields decodes a comma-separated float row into dst in place —
+// the text engine's columnar batch decode. Unlike strings.Split it
+// allocates nothing: every Mahout-style job parses each matrix row through
+// here, so the old per-row []string garbage is gone from the whole MR
+// analytics path.
+func parseFloatFields(s string, dst []float64) error {
+	j, start := 0, 0
+	for k := 0; k <= len(s); k++ {
+		if k == len(s) || s[k] == ',' {
+			if j >= len(dst) {
+				return fmt.Errorf("mapreduce: row has more than %d fields", len(dst))
+			}
+			v, err := strconv.ParseFloat(s[start:k], 64)
+			if err != nil {
+				return err
+			}
+			dst[j] = v
+			j++
+			start = k + 1
+		}
+	}
+	if j != len(dst) {
+		return fmt.Errorf("mapreduce: row has %d fields, want %d", j, len(dst))
+	}
+	return nil
 }
 
 func parsePadded(s string) (int, error) {

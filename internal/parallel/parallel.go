@@ -179,18 +179,37 @@ func For(workers, n int, fn func(i int)) {
 
 // ForSplit partitions [0, n) into one contiguous range per worker and runs
 // fn(lo, hi) on each concurrently. With one effective worker it calls
-// fn(0, n) inline.
+// fn(0, n) inline — no range slice, no closure, no allocation, so the
+// serial path of every kernel stays allocation-free.
 func ForSplit(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w := Resolve(workers); w <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
 	ForRanges(workers, Split(n, Resolve(workers)), fn)
 }
 
 // ForSplitWeighted is ForSplit with weighted split points.
 func ForSplitWeighted(workers, n int, weight func(i int) float64, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w := Resolve(workers); w <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
 	ForRanges(workers, SplitWeighted(n, Resolve(workers), weight), fn)
 }
 
 // ForRanges runs fn over each range, one goroutine per range (inline when
 // there is only one).
 func ForRanges(workers int, ranges []Range, fn func(lo, hi int)) {
+	if len(ranges) == 1 {
+		fn(ranges[0].Lo, ranges[0].Hi)
+		return
+	}
 	For(workers, len(ranges), func(i int) { fn(ranges[i].Lo, ranges[i].Hi) })
 }

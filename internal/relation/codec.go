@@ -34,6 +34,132 @@ func EncodeRow(schema Schema, r Row, buf []byte) []byte {
 	return buf
 }
 
+// ColumnBatch accumulates decoded rows column-wise: one typed slice per
+// schema column, filled straight from page bytes with no per-row Value
+// boxing. It is the unit of the zero-copy scan path (DESIGN.md §10): a scan
+// decodes a batch, the consumer reads the typed columns, Reset recycles the
+// capacity, and a steady-state scan allocates nothing.
+type ColumnBatch struct {
+	Schema Schema
+	// Ints[i] / Floats[i] / Strs[i] holds column i's values when the
+	// schema's kind matches; the other two are nil for that index.
+	Ints   [][]int64
+	Floats [][]float64
+	Strs   [][]string
+
+	n        int
+	fixed    int  // total encoded width of the fixed-width columns
+	varWidth bool // schema has string columns (records vary in length)
+}
+
+// NewColumnBatch prepares a batch for the schema with the given row
+// capacity pre-allocated per column.
+func NewColumnBatch(schema Schema, capacity int) *ColumnBatch {
+	b := &ColumnBatch{
+		Schema: schema,
+		Ints:   make([][]int64, len(schema)),
+		Floats: make([][]float64, len(schema)),
+		Strs:   make([][]string, len(schema)),
+	}
+	for i, col := range schema {
+		switch col.Kind {
+		case KindInt64:
+			b.Ints[i] = make([]int64, 0, capacity)
+			b.fixed += 8
+		case KindFloat64:
+			b.Floats[i] = make([]float64, 0, capacity)
+			b.fixed += 8
+		case KindString:
+			b.Strs[i] = make([]string, 0, capacity)
+			b.varWidth = true
+		}
+	}
+	return b
+}
+
+// Len returns the number of rows currently decoded into the batch.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// Reset empties the batch, keeping every column's capacity.
+func (b *ColumnBatch) Reset() {
+	for i := range b.Schema {
+		if b.Ints[i] != nil {
+			b.Ints[i] = b.Ints[i][:0]
+		}
+		if b.Floats[i] != nil {
+			b.Floats[i] = b.Floats[i][:0]
+		}
+		if b.Strs[i] != nil {
+			b.Strs[i] = b.Strs[i][:0]
+		}
+	}
+	b.n = 0
+}
+
+// DecodeColumns appends one encoded record's values to the batch's typed
+// columns, decoding directly from the page bytes. This is the columnar
+// counterpart of DecodeRow: same wire format, no Value boxing. On error the
+// batch is left exactly as it was — a partially decoded row is rolled back,
+// so columns can never end up misaligned.
+func (b *ColumnBatch) DecodeColumns(data []byte) (err error) {
+	if !b.varWidth && len(data) != b.fixed {
+		return fmt.Errorf("relation: record is %d bytes, schema needs %d", len(data), b.fixed)
+	}
+	if b.varWidth {
+		// Variable-width rows can fail mid-record; restore every column to
+		// its entry length so the batch stays rectangular.
+		defer func() {
+			if err == nil {
+				return
+			}
+			for i := range b.Schema {
+				if b.Ints[i] != nil && len(b.Ints[i]) > b.n {
+					b.Ints[i] = b.Ints[i][:b.n]
+				}
+				if b.Floats[i] != nil && len(b.Floats[i]) > b.n {
+					b.Floats[i] = b.Floats[i][:b.n]
+				}
+				if b.Strs[i] != nil && len(b.Strs[i]) > b.n {
+					b.Strs[i] = b.Strs[i][:b.n]
+				}
+			}
+		}()
+	}
+	off := 0
+	for i, col := range b.Schema {
+		switch col.Kind {
+		case KindInt64:
+			if off+8 > len(data) {
+				return fmt.Errorf("relation: truncated int64 at column %d", i)
+			}
+			b.Ints[i] = append(b.Ints[i], int64(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		case KindFloat64:
+			if off+8 > len(data) {
+				return fmt.Errorf("relation: truncated float64 at column %d", i)
+			}
+			b.Floats[i] = append(b.Floats[i], math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		case KindString:
+			if off+2 > len(data) {
+				return fmt.Errorf("relation: truncated string length at column %d", i)
+			}
+			n := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			if off+n > len(data) {
+				return fmt.Errorf("relation: truncated string at column %d", i)
+			}
+			b.Strs[i] = append(b.Strs[i], string(data[off:off+n]))
+			off += n
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("relation: %d trailing bytes after row", len(data)-off)
+	}
+	b.n++
+	return nil
+}
+
 // DecodeRow parses a record produced by EncodeRow. The destination row is
 // reused if it has the right arity.
 func DecodeRow(schema Schema, data []byte, dst Row) (Row, error) {

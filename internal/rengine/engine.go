@@ -31,6 +31,12 @@ type Engine struct {
 	pats  *Frame
 	genes *Frame
 	goTri *Frame // gene, term sparse membership triples
+
+	// Zero-copy path state: Load writes the value triple column
+	// patient-major dense, so vals doubles as the expression matrix in
+	// row-major layout (vals[pi*numGenes+gi]).
+	vals      []float64
+	denseVals bool
 }
 
 // New creates an unloaded engine.
@@ -83,6 +89,10 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 		}
 	}
 	e.micro = NewFrame(int(triples)).AddInt("geneid", geneCol).AddInt("patientid", patCol).AddFloat("value", valCol)
+	// The loop above wrote valCol patient-major dense; the zero-copy pivot
+	// reads it as the expression matrix without touching the triples.
+	e.vals = valCol
+	e.denseVals = true
 
 	ids := make([]int64, p)
 	ages := make([]int64, p)
@@ -158,10 +168,28 @@ func (e *Engine) selectGenes(threshold int64) []int64 {
 }
 
 // pivotGenes restructures the microarray triples into a dense matrix holding
-// the given genes (columns, in the given order) for the given patients (rows,
-// ascending id order). This is the paper's "restructure the information as a
-// matrix" step, R's reshape/acast.
-func (e *Engine) pivotGenes(ctx context.Context, patientIdx map[int64]int, nPat int, geneIdx map[int64]int) (*linalg.Matrix, error) {
+// the given genes (columns, in the given order; nil = all) for the given
+// patients (rows, in the given order; nil = all, ascending id). This is the
+// paper's "restructure the information as a matrix" step, R's reshape/acast.
+// With the zero-copy knob on, the full pivot is a view over the value column
+// and subsets are contiguous row copies into pooled scratch; the triple scan
+// below is the copy-path ablation. Cell values are identical either way.
+func (e *Engine) pivotGenes(ctx context.Context, patientIDs, geneIDs []int64) (*linalg.Matrix, error) {
+	if e.denseVals && engine.ZeroCopyEnabled() {
+		// Zero-copy pivot over the patient-major dense value column:
+		// identity selections are views, subsets are pooled gathers.
+		return engine.PivotDense(ctx, e.vals, e.pats.Len(), e.genes.Len(), patientIDs, geneIDs)
+	}
+	nPat := e.pats.Len()
+	patientIdx := allPatientsIndex(nPat)
+	if patientIDs != nil {
+		nPat = len(patientIDs)
+		patientIdx = indexOf(patientIDs)
+	}
+	geneIdx := allPatientsIndex(e.genes.Len()) // identity index over genes
+	if geneIDs != nil {
+		geneIdx = indexOf(geneIDs)
+	}
 	m := linalg.NewMatrix(nPat, len(geneIdx))
 	gc := e.micro.Int("geneid")
 	pc := e.micro.Int("patientid")
@@ -219,14 +247,17 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 	if err := e.checkMatrixBudget(nPat, len(genes)+1); err != nil {
 		return nil, err
 	}
-	x, err := e.pivotGenes(ctx, allPatientsIndex(nPat), nPat, indexOf(genes))
+	x, err := e.pivotGenes(ctx, nil, genes)
 	if err != nil {
 		return nil, err
 	}
 	y := e.pats.Float("drugresponse")
 
 	sw.StartAnalytics()
-	fit, err := linalg.LeastSquares(linalg.AddInterceptColumn(x), y)
+	xi := linalg.AddInterceptColumn(x)
+	linalg.PutMatrix(x)
+	fit, err := linalg.LeastSquares(xi, y)
+	linalg.PutMatrix(xi)
 	if err != nil {
 		return nil, err
 	}
@@ -271,19 +302,21 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 	if err := e.checkMatrixBudget(len(sel), g); err != nil {
 		return nil, err
 	}
-	geneIdx := allPatientsIndex(g) // identity index over genes
-	x, err := e.pivotGenes(ctx, indexOf(sel), len(sel), geneIdx)
+	x, err := e.pivotGenes(ctx, sel, nil)
 	if err != nil {
 		return nil, err
 	}
 
 	sw.StartAnalytics()
 	if int64(g)*int64(g) > e.maxCells() {
+		linalg.PutMatrix(x)
 		return nil, fmt.Errorf("%w: %d×%d covariance matrix", engine.ErrOutOfMemory, g, g)
 	}
 	cov := linalg.CovarianceP(x, e.Workers)
+	linalg.PutMatrix(x)
 	sw.StartDM()
 	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{e.genes.Int("function")}, len(sel))
+	linalg.PutMatrix(cov)
 	sw.Stop()
 	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
 }
@@ -307,13 +340,14 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 	if err := e.checkMatrixBudget(len(sel), g); err != nil {
 		return nil, err
 	}
-	x, err := e.pivotGenes(ctx, indexOf(sel), len(sel), allPatientsIndex(g))
+	x, err := e.pivotGenes(ctx, sel, nil)
 	if err != nil {
 		return nil, err
 	}
 
 	sw.StartAnalytics()
 	blocks, err := bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
+	linalg.PutMatrix(x)
 	if err != nil {
 		return nil, err
 	}
@@ -336,13 +370,14 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 	if err := e.checkMatrixBudget(nPat, len(genes)); err != nil {
 		return nil, err
 	}
-	a, err := e.pivotGenes(ctx, allPatientsIndex(nPat), nPat, indexOf(genes))
+	a, err := e.pivotGenes(ctx, nil, genes)
 	if err != nil {
 		return nil, err
 	}
 
 	sw.StartAnalytics()
 	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
+	linalg.PutMatrix(a)
 	if err != nil {
 		return nil, err
 	}
@@ -367,21 +402,39 @@ func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Resul
 	// triples (an R aggregate over the merged selection).
 	g := e.genes.Len()
 	sums := make([]float64, g)
-	inSample := make(map[int64]bool, len(sampled))
-	for _, s := range sampled {
-		inSample[s] = true
-	}
-	gc := e.micro.Int("geneid")
-	pc := e.micro.Int("patientid")
-	vc := e.micro.Float("value")
-	for k := range vc {
-		if k%65536 == 0 {
-			if err := engine.CheckCtx(ctx); err != nil {
-				return nil, err
+	if e.denseVals && engine.ZeroCopyEnabled() {
+		// Zero-copy: sampled patients are contiguous rows of the dense
+		// value column; per gene the accumulation order (ascending patient)
+		// matches the triple scan, so means are bitwise identical. Keep the
+		// triple scan's cancellation responsiveness (~every 64 rows).
+		for k, pid := range sampled {
+			if k%64 == 0 {
+				if err := engine.CheckCtx(ctx); err != nil {
+					return nil, err
+				}
+			}
+			row := e.vals[int(pid)*g : (int(pid)+1)*g]
+			for j, v := range row {
+				sums[j] += v
 			}
 		}
-		if inSample[pc[k]] {
-			sums[gc[k]] += vc[k]
+	} else {
+		inSample := make(map[int64]bool, len(sampled))
+		for _, s := range sampled {
+			inSample[s] = true
+		}
+		gc := e.micro.Int("geneid")
+		pc := e.micro.Int("patientid")
+		vc := e.micro.Float("value")
+		for k := range vc {
+			if k%65536 == 0 {
+				if err := engine.CheckCtx(ctx); err != nil {
+					return nil, err
+				}
+			}
+			if inSample[pc[k]] {
+				sums[gc[k]] += vc[k]
+			}
 		}
 	}
 	for j := range sums {

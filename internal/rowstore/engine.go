@@ -124,6 +124,7 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 	if err != nil {
 		return nil, err
 	}
+	pivot := x // pooled by the columnar path; released below
 	y, err := e.drugResponses(ctx)
 	if err != nil {
 		return nil, err
@@ -135,6 +136,9 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 		if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
 			return nil, err
 		}
+		if x != pivot {
+			linalg.PutMatrix(pivot)
+		}
 		if y, err = e.glue.TransferVector(ctx, y); err != nil {
 			return nil, err
 		}
@@ -142,7 +146,10 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 	sw.StartAnalytics()
 	// Madlib's linear regression is a native C++ UDF; R's lm is native
 	// LAPACK. Both reduce to the same QR solve here.
-	fit, err = linalg.LeastSquares(linalg.AddInterceptColumn(x), y)
+	xi := linalg.AddInterceptColumn(x)
+	linalg.PutMatrix(x)
+	fit, err = linalg.LeastSquares(xi, y)
+	linalg.PutMatrix(xi)
 	if err != nil {
 		return nil, err
 	}
@@ -183,15 +190,20 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 	if err != nil {
 		return nil, err
 	}
+	pivot := x
 
 	if e.mode == ModeR {
 		sw.StartTransfer()
 		if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
 			return nil, err
 		}
+		if x != pivot {
+			linalg.PutMatrix(pivot)
+		}
 	}
 	sw.StartAnalytics()
 	cov := linalg.CovarianceP(x, e.Workers)
+	linalg.PutMatrix(x)
 
 	sw.StartDM()
 	fns, err := e.geneFunctions(ctx)
@@ -199,6 +211,7 @@ func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Resul
 		return nil, err
 	}
 	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{fns}, len(pats))
+	linalg.PutMatrix(cov)
 	sw.Stop()
 	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
 }
@@ -221,13 +234,18 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 	if err != nil {
 		return nil, err
 	}
+	pivot := x
 
 	sw.StartTransfer()
 	if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
 		return nil, err
 	}
+	if x != pivot {
+		linalg.PutMatrix(pivot)
+	}
 	sw.StartAnalytics()
 	blocks, err := bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
+	linalg.PutMatrix(x)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +271,7 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 	if err != nil {
 		return nil, err
 	}
+	pivot := a
 
 	var sv []float64
 	if e.mode == ModeMadlib {
@@ -260,6 +279,7 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 		// plpython": Lanczos runs with every mat-vec as a relational plan.
 		sw.StartAnalytics()
 		sv, err = e.madlibSVD(ctx, a, p.SVDK, p.Seed)
+		linalg.PutMatrix(a)
 		if err != nil {
 			return nil, err
 		}
@@ -268,8 +288,12 @@ func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, erro
 		if a, err = e.glue.TransferMatrix(ctx, a); err != nil {
 			return nil, err
 		}
+		if a != pivot {
+			linalg.PutMatrix(pivot)
+		}
 		sw.StartAnalytics()
 		svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
+		linalg.PutMatrix(a)
 		if err != nil {
 			return nil, err
 		}

@@ -4,9 +4,91 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
 	"github.com/genbase/genbase/internal/relation"
+	"github.com/genbase/genbase/internal/storage"
 )
+
+// columnarBatchRows is the row count of one decoded ColumnBatch — large
+// enough to amortize the per-batch callback, small enough to stay in cache.
+const columnarBatchRows = 4096
+
+// scanColumnarFrom streams records from next through a reusable columnar
+// batch: records are decoded straight from page bytes into typed per-column
+// slices (relation.DecodeColumns), skipping the Volcano executor's per-row
+// Value boxing entirely. fn sees batches in source order, so any
+// accumulation a caller does per batch row matches the row-at-a-time plan's
+// order exactly.
+func scanColumnarFrom(ctx context.Context, schema relation.Schema, next func() ([]byte, bool, error), fn func(*relation.ColumnBatch) error) error {
+	batch := relation.NewColumnBatch(schema, columnarBatchRows)
+	for {
+		rec, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := batch.DecodeColumns(rec); err != nil {
+			return err
+		}
+		if batch.Len() == columnarBatchRows {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return err
+			}
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch.Reset()
+		}
+	}
+	if batch.Len() > 0 {
+		return fn(batch)
+	}
+	return nil
+}
+
+// scanColumnar is scanColumnarFrom over a full heap scan (the sequential
+// access path).
+func scanColumnar(ctx context.Context, t *TableHandle, fn func(*relation.ColumnBatch) error) error {
+	cur := t.Heap.NewCursor()
+	defer cur.Close()
+	return scanColumnarFrom(ctx, t.Schema, cur.Next, fn)
+}
+
+// scanRIDsColumnar is scanColumnarFrom over a pre-collected, file-ordered
+// RID list — the columnar twin of the bitmap access path.
+func scanRIDsColumnar(ctx context.Context, t *TableHandle, rids []storage.RID, fn func(*relation.ColumnBatch) error) error {
+	var buf []byte
+	pos := 0
+	next := func() ([]byte, bool, error) {
+		if pos >= len(rids) {
+			return nil, false, nil
+		}
+		var err error
+		buf, err = t.Heap.FetchRecordInto(rids[pos], buf)
+		if err != nil {
+			return nil, false, err
+		}
+		pos++
+		return buf, true, nil
+	}
+	return scanColumnarFrom(ctx, t.Schema, next, fn)
+}
+
+// denseIndex inverts an id list into a position array over [0, n): out[id]
+// is the id's rank, −1 when absent.
+func denseIndex(ids []int64, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for i, id := range ids {
+		out[id] = int32(i)
+	}
+	return out
+}
 
 // The data-management halves of the five queries, expressed as Volcano plans
 // over the heap tables. Both analytics modes share these plans.
@@ -105,6 +187,41 @@ func (e *Engine) pivotJoin(ctx context.Context, geneIDs, patientIDs []int64) (*l
 			patientIDs[i] = int64(i)
 		}
 	}
+	// Zero-copy path: decode the scan columnar (no Value boxing) and fill a
+	// pooled matrix with vectorized membership tests. The access-path choice
+	// (bitmap vs sequential) and the row visit order are identical to the
+	// Volcano plan below, so the resulting matrix is bitwise the same.
+	if engine.ZeroCopyEnabled() {
+		gIdx := denseIndex(geneIDs, e.numGenes)
+		pIdx := denseIndex(patientIDs, e.numPatients)
+		m := linalg.GetMatrixZeroed(len(patientIDs), len(geneIDs))
+		fill := func(b *relation.ColumnBatch) error {
+			gs, ps, vs := b.Ints[gCol], b.Ints[pCol], b.Floats[vCol]
+			for r, v := range vs {
+				gi := gIdx[gs[r]]
+				if gi < 0 {
+					continue
+				}
+				pi := pIdx[ps[r]]
+				if pi < 0 {
+					continue
+				}
+				m.Data[int(pi)*m.Stride+int(gi)] = v
+			}
+			return nil
+		}
+		if idx := micro.Index("patientid"); idx != nil && len(patientIDs)*10 < e.numPatients {
+			err = scanRIDsColumnar(ctx, micro, idx.CollectRIDs(patientIDs), fill)
+		} else {
+			err = scanColumnar(ctx, micro, fill)
+		}
+		if err != nil {
+			linalg.PutMatrix(m)
+			return nil, err
+		}
+		return m, nil
+	}
+
 	gIdx := indexMap(geneIDs)
 	pIdx := indexMap(patientIDs)
 
@@ -150,10 +267,20 @@ func (e *Engine) drugResponses(ctx context.Context) ([]float64, error) {
 	idCol := PatientsSchema.MustColIndex("patientid")
 	respCol := PatientsSchema.MustColIndex("drugresponse")
 	y := make([]float64, e.numPatients)
-	err = Drain(&SeqScan{Ctx: ctx, Table: pats}, func(r relation.Row) error {
-		y[r[idCol].I] = r[respCol].F
-		return nil
-	})
+	if engine.ZeroCopyEnabled() {
+		err = scanColumnar(ctx, pats, func(b *relation.ColumnBatch) error {
+			ids, resp := b.Ints[idCol], b.Floats[respCol]
+			for r, id := range ids {
+				y[id] = resp[r]
+			}
+			return nil
+		})
+	} else {
+		err = Drain(&SeqScan{Ctx: ctx, Table: pats}, func(r relation.Row) error {
+			y[r[idCol].I] = r[respCol].F
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -170,10 +297,20 @@ func (e *Engine) geneFunctions(ctx context.Context) ([]int64, error) {
 	idCol := GenesSchema.MustColIndex("geneid")
 	fnCol := GenesSchema.MustColIndex("function")
 	fns := make([]int64, e.numGenes)
-	err = Drain(&SeqScan{Ctx: ctx, Table: genes}, func(r relation.Row) error {
-		fns[r[idCol].I] = r[fnCol].I
-		return nil
-	})
+	if engine.ZeroCopyEnabled() {
+		err = scanColumnar(ctx, genes, func(b *relation.ColumnBatch) error {
+			ids, fn := b.Ints[idCol], b.Ints[fnCol]
+			for r, id := range ids {
+				fns[id] = fn[r]
+			}
+			return nil
+		})
+	} else {
+		err = Drain(&SeqScan{Ctx: ctx, Table: genes}, func(r relation.Row) error {
+			fns[r[idCol].I] = r[fnCol].I
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -190,20 +327,47 @@ func (e *Engine) sampleMeans(ctx context.Context, step int) ([]float64, int, err
 	gCol := MicroarraySchema.MustColIndex("geneid")
 	pCol := MicroarraySchema.MustColIndex("patientid")
 	vCol := MicroarraySchema.MustColIndex("expressionvalue")
-	plan := &HashAgg{
-		Child: &Filter{
-			Child: &SeqScan{Ctx: ctx, Table: micro},
-			Pred:  func(r relation.Row) bool { return r[pCol].I%int64(step) == 0 },
-		},
-		Key:  gCol,
-		Aggs: []AggSpec{{Col: vCol, Kind: AggAvg}},
-	}
 	means := make([]float64, e.numGenes)
-	if err := Drain(plan, func(r relation.Row) error {
-		means[r[0].I] = r[1].F
-		return nil
-	}); err != nil {
-		return nil, 0, err
+	if engine.ZeroCopyEnabled() {
+		// Columnar filter + aggregate: per gene the contributions arrive in
+		// heap order, the same order the hash aggregate accumulated them, so
+		// sums and the final sum/count divisions are bitwise identical.
+		sums := make([]float64, e.numGenes)
+		counts := make([]int64, e.numGenes)
+		err := scanColumnar(ctx, micro, func(b *relation.ColumnBatch) error {
+			gs, ps, vs := b.Ints[gCol], b.Ints[pCol], b.Floats[vCol]
+			for r, v := range vs {
+				if ps[r]%int64(step) != 0 {
+					continue
+				}
+				sums[gs[r]] += v
+				counts[gs[r]]++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		for j := range sums {
+			if counts[j] > 0 {
+				means[j] = sums[j] / float64(counts[j])
+			}
+		}
+	} else {
+		plan := &HashAgg{
+			Child: &Filter{
+				Child: &SeqScan{Ctx: ctx, Table: micro},
+				Pred:  func(r relation.Row) bool { return r[pCol].I%int64(step) == 0 },
+			},
+			Key:  gCol,
+			Aggs: []AggSpec{{Col: vCol, Kind: AggAvg}},
+		}
+		if err := Drain(plan, func(r relation.Row) error {
+			means[r[0].I] = r[1].F
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
 	}
 	sampled := (e.numPatients + step - 1) / step
 	return means, sampled, nil

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"os"
@@ -10,22 +9,32 @@ import (
 // BufferPool caches pages of a single file with LRU replacement. It is the
 // gatekeeper for all page access: engines fetch, use, and unpin; dirty pages
 // are written back on eviction or flush.
+//
+// The pool is allocation-free in steady state: evicted frames recycle
+// through a freelist and the LRU chain is intrusive (links live in the
+// frames themselves), so a sequential scan of a table far larger than the
+// pool — the cursor's access pattern — allocates nothing per page. Before
+// this, every miss past capacity allocated a fresh 8 KiB frame plus an LRU
+// node, which is exactly the scan-path churn the zero-copy work removes.
 type BufferPool struct {
 	file     *os.File
 	capacity int
 	frames   map[int64]*frame
-	lru      *list.List // front = most recently used; holds *frame
+	// Intrusive LRU chain: lruHead is most recently used, lruTail least.
+	lruHead, lruTail *frame
+	// free holds evicted frames for reuse.
+	free *frame
 
 	// Stats for ablation benches and tests.
 	Hits, Misses, Evictions int64
 }
 
 type frame struct {
-	pageNum int64
-	page    Page
-	dirty   bool
-	pins    int
-	elem    *list.Element
+	pageNum    int64
+	page       Page
+	dirty      bool
+	pins       int
+	prev, next *frame // LRU links while resident; next doubles as freelist link
 }
 
 // ErrPoolExhausted means every frame is pinned and nothing can be evicted.
@@ -40,7 +49,33 @@ func NewBufferPool(file *os.File, capacity int) *BufferPool {
 		file:     file,
 		capacity: capacity,
 		frames:   make(map[int64]*frame, capacity),
-		lru:      list.New(),
+	}
+}
+
+// lruUnlink removes f from the LRU chain.
+func (bp *BufferPool) lruUnlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		bp.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		bp.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+// lruPushFront marks f most recently used.
+func (bp *BufferPool) lruPushFront(f *frame) {
+	f.prev, f.next = nil, bp.lruHead
+	if bp.lruHead != nil {
+		bp.lruHead.prev = f
+	}
+	bp.lruHead = f
+	if bp.lruTail == nil {
+		bp.lruTail = f
 	}
 }
 
@@ -49,7 +84,8 @@ func (bp *BufferPool) FetchPage(pageNum int64) (*Page, error) {
 	if f, ok := bp.frames[pageNum]; ok {
 		bp.Hits++
 		f.pins++
-		bp.lru.MoveToFront(f.elem)
+		bp.lruUnlink(f)
+		bp.lruPushFront(f)
 		return &f.page, nil
 	}
 	bp.Misses++
@@ -58,8 +94,7 @@ func (bp *BufferPool) FetchPage(pageNum int64) (*Page, error) {
 		return nil, err
 	}
 	if _, err := bp.file.ReadAt(f.page[:], pageNum*PageSize); err != nil {
-		delete(bp.frames, pageNum)
-		bp.lru.Remove(f.elem)
+		bp.dropFrame(f)
 		return nil, fmt.Errorf("storage: read page %d: %w", pageNum, err)
 	}
 	return &f.page, nil
@@ -77,12 +112,15 @@ func (bp *BufferPool) NewPage() (*Page, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// The frame may be recycled from the freelist: clear it so a fresh page
+	// is all zeros on disk (InitPage resets only the header, and stale
+	// record bytes from an evicted page must not leak into new pages).
+	f.page = Page{}
 	InitPage(&f.page)
 	f.dirty = true
 	// Extend the file eagerly so Stat-based allocation stays correct.
 	if err := bp.file.Truncate((pageNum + 1) * PageSize); err != nil {
-		delete(bp.frames, pageNum)
-		bp.lru.Remove(f.elem)
+		bp.dropFrame(f)
 		return nil, 0, err
 	}
 	return &f.page, pageNum, nil
@@ -94,15 +132,21 @@ func (bp *BufferPool) allocFrame(pageNum int64) (*frame, error) {
 			return nil, err
 		}
 	}
-	f := &frame{pageNum: pageNum, pins: 1}
-	f.elem = bp.lru.PushFront(f)
+	f := bp.free
+	if f != nil {
+		bp.free = f.next
+		f.next = nil
+		f.pageNum, f.pins, f.dirty = pageNum, 1, false
+	} else {
+		f = &frame{pageNum: pageNum, pins: 1}
+	}
+	bp.lruPushFront(f)
 	bp.frames[pageNum] = f
 	return f, nil
 }
 
 func (bp *BufferPool) evictOne() error {
-	for e := bp.lru.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*frame)
+	for f := bp.lruTail; f != nil; f = f.prev {
 		if f.pins > 0 {
 			continue
 		}
@@ -112,11 +156,23 @@ func (bp *BufferPool) evictOne() error {
 			}
 		}
 		bp.Evictions++
-		bp.lru.Remove(e)
+		bp.lruUnlink(f)
 		delete(bp.frames, f.pageNum)
+		f.next = bp.free
+		bp.free = f
 		return nil
 	}
 	return ErrPoolExhausted
+}
+
+// dropFrame removes a just-allocated frame after a failed fill and recycles
+// it through the freelist.
+func (bp *BufferPool) dropFrame(f *frame) {
+	delete(bp.frames, f.pageNum)
+	bp.lruUnlink(f)
+	f.dirty = false
+	f.next = bp.free
+	bp.free = f
 }
 
 // Unpin releases a pin; dirty marks the page as modified.

@@ -254,3 +254,44 @@ func TestBufferPoolExhaustion(t *testing.T) {
 		t.Fatalf("after unpin: %v", err)
 	}
 }
+
+// The scan path must not allocate per page: evicted frames recycle through
+// the buffer pool's freelist, so a cursor sweep over a table much larger
+// than the pool runs allocation-free once the pool is warm.
+func TestCursorScanDoesNotAllocatePerPage(t *testing.T) {
+	h := tempHeap(t, 4) // tiny pool: the 100+-page scan evicts constantly
+	rec := bytes.Repeat([]byte{7}, 900)
+	for i := 0; i < 1000; i++ {
+		if err := h.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() < 20 {
+		t.Fatalf("want a multi-page file, got %d pages", h.NumPages())
+	}
+	scan := func() {
+		cur := h.NewCursor()
+		n := 0
+		for {
+			_, ok, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		cur.Close()
+		if n != 1000 {
+			t.Fatalf("scanned %d records", n)
+		}
+	}
+	scan() // warm the pool and freelist
+	perScan := testing.AllocsPerRun(10, scan)
+	// One cursor struct per scan is fine; per-page frame churn (100+ pages ×
+	// 8 KiB) is not.
+	if perScan > 5 {
+		t.Fatalf("scan allocates %.0f objects; frames are not being reused", perScan)
+	}
+}

@@ -1,0 +1,72 @@
+package genbase
+
+import (
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// The zero-copy acceptance contract: every engine must produce bitwise-
+// identical answers with the zero-copy path on and off, for every query it
+// supports. reflect.DeepEqual compares the answer structs' float64 payloads
+// exactly (no tolerance), so any divergence in accumulation order or cell
+// values fails here.
+func TestZeroCopyAnswersBitwiseIdentical(t *testing.T) {
+	defer engine.SetZeroCopy(true)
+	ds, err := datagen.Generate(datagen.Config{Size: datagen.Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultParams()
+	queries := []engine.QueryID{
+		engine.Q1Regression, engine.Q2Covariance, engine.Q3Biclustering,
+		engine.Q4SVD, engine.Q5Statistics,
+	}
+
+	run := func(t *testing.T, name string, zc bool, q engine.QueryID) (*engine.Result, error) {
+		engine.SetZeroCopy(zc)
+		cfg, err := core.ConfigByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "genbase-zc-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		eng := cfg.New(1, dir)
+		defer eng.Close()
+		if !eng.Supports(q) {
+			return nil, engine.ErrUnsupported
+		}
+		if err := eng.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run(context.Background(), q, p)
+	}
+
+	for _, cfg := range core.SingleNodeConfigs() {
+		for _, q := range queries {
+			name, q := cfg.Name, q
+			t.Run(name+"/"+q.String(), func(t *testing.T) {
+				on, errOn := run(t, name, true, q)
+				off, errOff := run(t, name, false, q)
+				if errors.Is(errOn, engine.ErrUnsupported) && errors.Is(errOff, engine.ErrUnsupported) {
+					t.Skip("query unsupported")
+				}
+				if errOn != nil || errOff != nil {
+					t.Fatalf("zerocopy err=%v, copy err=%v", errOn, errOff)
+				}
+				if !reflect.DeepEqual(on.Answer, off.Answer) {
+					t.Fatalf("answers diverge between zero-copy and copy paths:\n zc: %+v\n cp: %+v", on.Answer, off.Answer)
+				}
+			})
+		}
+	}
+}
