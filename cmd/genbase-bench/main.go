@@ -38,6 +38,13 @@ func main() {
 	workers := flag.Int("workers", 0, "analytics worker count for every engine (0 = GENBASE_PARALLEL or NumCPU)")
 	zerocopy := flag.Bool("zerocopy", true, "use the zero-copy storage→kernel path; false re-enables the historical materialize/copy path (ablation, bitwise-identical answers)")
 	parallelSweep := flag.String("parallel-sweep", "", "comma-separated worker counts: time the hot kernels at each and report single-core vs multicore speedups (e.g. 1,2,4,8)")
+	clients := flag.String("clients", "", "serve mode: comma-separated client counts (e.g. 1,2,4) driving concurrent queries through internal/serve; reports QPS and p50/p99 per engine")
+	duration := flag.Duration("duration", 1500*time.Millisecond, "serve mode: measurement window per (system, clients) run")
+	think := flag.Duration("think", 5*time.Millisecond, "serve mode: per-client idle time between queries (0 = tight closed loop)")
+	serveSystems := flag.String("serve-systems", "", "serve mode: comma-separated system names (default: every single-node configuration)")
+	serveCache := flag.Bool("serve-cache", false, "serve mode: enable the shared result cache (repeated queries answered without re-execution)")
+	serveSize := flag.String("serve-size", "small", "serve mode: dataset preset")
+	serveOut := flag.String("serve-out", "", "serve mode: write the results JSON (the BENCH_serve.json baseline) to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	flag.Parse()
 
@@ -47,9 +54,36 @@ func main() {
 	}
 	engine.SetZeroCopy(*zerocopy)
 
-	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" {
+	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *clients != "" {
+		counts, err := parseClientCounts(*clients)
+		if err != nil {
+			fatal(err)
+		}
+		sc := serveConfig{
+			clientCounts: counts,
+			duration:     *duration,
+			think:        *think,
+			cache:        *serveCache,
+			size:         datagen.Size(strings.TrimSpace(*serveSize)),
+			scale:        *scale,
+			seed:         *seed,
+			outPath:      *serveOut,
+			quiet:        *quiet,
+		}
+		if *serveSystems != "" {
+			for _, s := range strings.Split(*serveSystems, ",") {
+				sc.systems = append(sc.systems, strings.TrimSpace(s))
+			}
+		}
+		fmt.Fprintln(os.Stderr, "running serve-mode throughput sweep...")
+		if err := runServe(context.Background(), sc); err != nil {
+			fatal(err)
+		}
 	}
 
 	var sz []datagen.Size

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/serve"
+)
+
+// serveConfig is the parsed -clients/-duration/... flag set.
+type serveConfig struct {
+	clientCounts []int
+	duration     time.Duration
+	think        time.Duration
+	systems      []string // empty = all single-node configurations
+	cache        bool
+	size         datagen.Size
+	scale        float64
+	seed         uint64
+	outPath      string
+	quiet        bool
+}
+
+// serveMix is the hot-query mix every engine is driven with: the three
+// queries all seven single-node configurations support and finish quickly
+// (regression, covariance, statistics). A fixed mix keeps QPS comparable
+// across engines; biclustering and the Madlib simulated-SQL SVD would turn
+// the window into a single-query measurement.
+func serveMix(p engine.Params) []serve.Request {
+	return []serve.Request{
+		{Query: engine.Q1Regression, Params: p},
+		{Query: engine.Q2Covariance, Params: p},
+		{Query: engine.Q5Statistics, Params: p},
+	}
+}
+
+// serveRunJSON is one row of the BENCH_serve.json baseline.
+type serveRunJSON struct {
+	System       string  `json:"system"`
+	Clients      int     `json:"clients"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Queries      int64   `json:"queries"`
+	CacheHits    int64   `json:"cache_hits"`
+	PeakInFlight int64   `json:"peak_inflight"`
+}
+
+type serveReportJSON struct {
+	Dataset    string         `json:"dataset"`
+	Scale      float64        `json:"scale"`
+	Seed       uint64         `json:"seed"`
+	DurationMs float64        `json:"duration_ms_per_run"`
+	ThinkMs    float64        `json:"think_ms"`
+	Cache      bool           `json:"cache"`
+	CPUs       int            `json:"host_cpus"`
+	Mix        []string       `json:"mix"`
+	Results    []serveRunJSON `json:"results"`
+}
+
+// runServe is the -clients throughput mode: for each system, load the
+// dataset once, then sweep the client counts through a serve.Server and
+// report QPS and client-observed p50/p99 latency.
+func runServe(ctx context.Context, sc serveConfig) error {
+	ds, err := datagen.Generate(datagen.Config{Size: sc.size, Scale: sc.scale, Seed: sc.seed})
+	if err != nil {
+		return err
+	}
+	params := engine.DefaultParams()
+	mix := serveMix(params)
+
+	configs := core.SingleNodeConfigs()
+	if len(sc.systems) > 0 {
+		configs = configs[:0:0]
+		for _, name := range sc.systems {
+			cfg, err := core.ConfigByName(name)
+			if err != nil {
+				return err
+			}
+			// Only single-node engines satisfy the concurrency contract; the
+			// multinode virtual-cluster engines (and the stateful coprocessor
+			// model) are serial-only and must not be served.
+			if !cfg.SingleNode {
+				return fmt.Errorf("%s is not a single-node configuration; serve mode requires engines safe for concurrent queries (DESIGN.md §11)", name)
+			}
+			configs = append(configs, cfg)
+		}
+	}
+
+	report := serveReportJSON{
+		Dataset:    string(sc.size),
+		Scale:      sc.scale,
+		Seed:       sc.seed,
+		DurationMs: float64(sc.duration) / float64(time.Millisecond),
+		ThinkMs:    float64(sc.think) / float64(time.Millisecond),
+		Cache:      sc.cache,
+		CPUs:       runtime.NumCPU(),
+	}
+	for _, r := range mix {
+		report.Mix = append(report.Mix, r.Query.String())
+	}
+
+	for _, cfg := range configs {
+		dir, err := os.MkdirTemp("", "genbase-serve-*")
+		if err != nil {
+			return err
+		}
+		eng := cfg.New(1, dir)
+		if err := eng.Load(ds); err != nil {
+			eng.Close()
+			os.RemoveAll(dir)
+			return fmt.Errorf("%s: load: %w", cfg.Name, err)
+		}
+
+		fmt.Printf("serve throughput — %s (%s, cache %s, think %v, window %v)\n",
+			cfg.Name, sc.size, onOff(sc.cache), sc.think, sc.duration)
+		fmt.Printf("%8s  %10s  %10s  %10s  %9s  %5s\n", "clients", "qps", "p50_ms", "p99_ms", "queries", "peak")
+		for _, n := range sc.clientCounts {
+			srv := serve.New(eng, serve.Options{MaxConcurrent: n, DisableCache: !sc.cache})
+			res, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
+				Clients: n, Duration: sc.duration, Think: sc.think,
+			})
+			if err != nil {
+				eng.Close()
+				os.RemoveAll(dir)
+				return fmt.Errorf("%s @ %d clients: %w", cfg.Name, n, err)
+			}
+			fmt.Printf("%8d  %10.1f  %10.2f  %10.2f  %9d  %5d\n",
+				n, res.QPS, ms(res.P50), ms(res.P99), res.Queries, res.PeakInFlight)
+			report.Results = append(report.Results, serveRunJSON{
+				System:       res.System,
+				Clients:      n,
+				QPS:          round1(res.QPS),
+				P50Ms:        round2(ms(res.P50)),
+				P99Ms:        round2(ms(res.P99)),
+				Queries:      res.Queries,
+				CacheHits:    res.CacheHits,
+				PeakInFlight: res.PeakInFlight,
+			})
+		}
+		fmt.Println()
+		eng.Close()
+		os.RemoveAll(dir)
+	}
+
+	if sc.outPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(sc.outPath, blob, 0o644); err != nil {
+			return err
+		}
+		if !sc.quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", sc.outPath)
+		}
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// parseClientCounts parses the -clients flag ("4" or "1,2,4").
+func parseClientCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -clients count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

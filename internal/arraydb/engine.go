@@ -66,6 +66,11 @@ func (e *Engine) Name() string {
 // Supports implements engine.Engine: SciDB runs all five queries.
 func (e *Engine) Supports(engine.QueryID) bool { return true }
 
+// SetWorkers pins the analytics-kernel worker count (serve.Server uses it to
+// split the host's worker budget across admission slots). Call before
+// concurrent queries begin.
+func (e *Engine) SetWorkers(n int) { e.Workers = n }
+
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
 

@@ -50,12 +50,6 @@ type Engine struct {
 	denseVals bool
 	meta      engine.GeneMeta // funcLookup over the decoded function column, boxed once at Load
 
-	// Reusable selection scratch. Queries run one at a time per engine
-	// (the suite/bench contract), and nothing downstream retains these:
-	// answers copy the ids they keep.
-	selScratch []int32
-	idsScratch []int64
-
 	text analytics.Glue
 	bin  analytics.Glue
 }
@@ -76,6 +70,11 @@ func (e *Engine) Name() string {
 // Supports implements engine.Engine: both column-store configurations run
 // all five queries.
 func (e *Engine) Supports(engine.QueryID) bool { return true }
+
+// SetWorkers pins the analytics-kernel worker count (serve.Server uses it to
+// split the host's worker budget across admission slots). Call before
+// concurrent queries begin.
+func (e *Engine) SetWorkers(n int) { e.Workers = n }
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
@@ -180,12 +179,13 @@ func (e *Engine) glue() analytics.Glue {
 }
 
 // selectGeneIDs vectorized-scans gene metadata (function predicate tested
-// per dictionary code or run, not per row). The selection vector and id
-// list live in engine scratch: valid until the next query.
+// per dictionary code or run, not per row). Selection vectors and id lists
+// are query-local: engine fields would be shared mutable state under
+// concurrent queries (DESIGN.md §11), and these are tiny (gene-metadata
+// sized, not fact-table sized).
 func (e *Engine) selectGeneIDs(thr int64) []int64 {
-	e.selScratch = e.genes.Int("function").Select(func(v int64) bool { return v < thr }, e.selScratch[:0])
-	e.idsScratch = e.genes.Int("geneid").Gather(e.selScratch, e.idsScratch[:0])
-	return e.idsScratch
+	sel := e.genes.Int("function").Select(func(v int64) bool { return v < thr }, nil)
+	return e.genes.Int("geneid").Gather(sel, nil)
 }
 
 // pivotMicro builds the dense matrix for the given patient and gene id sets
@@ -309,9 +309,8 @@ func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Resul
 func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
 	var sw engine.StopWatch
 	sw.StartDM()
-	e.selScratch = e.pats.Int("diseaseid").Select(func(v int64) bool { return v == p.DiseaseID }, e.selScratch[:0])
-	e.idsScratch = e.pats.Int("patientid").Gather(e.selScratch, e.idsScratch[:0])
-	pats := e.idsScratch
+	sel := e.pats.Int("diseaseid").Select(func(v int64) bool { return v == p.DiseaseID }, nil)
+	pats := e.pats.Int("patientid").Gather(sel, nil)
 	if len(pats) < 2 {
 		return nil, fmt.Errorf("colstore: fewer than two patients with disease %d", p.DiseaseID)
 	}
@@ -347,10 +346,9 @@ func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Res
 	var sw engine.StopWatch
 	sw.StartDM()
 	age := e.pats.Int("age")
-	e.selScratch = e.pats.Int("gender").Select(func(v int64) bool { return v == int64(p.Gender) }, e.selScratch[:0])
-	e.selScratch = age.SelectRefine(func(v int64) bool { return v < p.MaxAge }, e.selScratch)
-	e.idsScratch = e.pats.Int("patientid").Gather(e.selScratch, e.idsScratch[:0])
-	pats := e.idsScratch
+	sel := e.pats.Int("gender").Select(func(v int64) bool { return v == int64(p.Gender) }, nil)
+	sel = age.SelectRefine(func(v int64) bool { return v < p.MaxAge }, sel)
+	pats := e.pats.Int("patientid").Gather(sel, nil)
 	if len(pats) < 4 {
 		return nil, fmt.Errorf("colstore: only %d patients pass the Q3 filter", len(pats))
 	}

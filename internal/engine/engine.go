@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/genbase/genbase/internal/datagen"
@@ -129,8 +130,17 @@ type Result struct {
 
 // Engine is a system under test. Load ingests the neutral dataset into the
 // engine's own storage format (not timed as part of queries, matching the
-// paper's separation of load from query time). Engines are not safe for
-// concurrent queries.
+// paper's separation of load from query time).
+//
+// Concurrency contract (DESIGN.md §11): Load and Close are single-goroutine
+// and must not overlap Run. Once Load has returned, the single-node engines
+// (rowstore, colstore, arraydb, rengine, mapreduce) accept concurrent Run
+// calls: loaded state is read-only during queries, per-query scratch comes
+// from the goroutine-safe linalg arena or query-local allocations, and the
+// storage buffer pool arbitrates page access under its own lock. Answers are
+// bitwise identical to a serial run. The multinode virtual-cluster engines
+// are excluded — their simulated clock is shared mutable state — and remain
+// serial-only.
 type Engine interface {
 	Name() string
 	Load(ds *datagen.Dataset) error
@@ -149,8 +159,13 @@ var (
 	ErrUnsupported = errors.New("engine: query not supported by this configuration")
 )
 
-// StopWatch accumulates phase timings with explicit phase switches.
+// StopWatch accumulates phase timings with explicit phase switches. Each
+// query owns its own StopWatch (a local in the engine's query method); the
+// mutex guards the few cross-goroutine touches the serve path allows — a
+// harness reading Timing while a query is mid-phase — and costs nothing
+// uncontended.
 type StopWatch struct {
+	mu     sync.Mutex
 	timing Timing
 	start  time.Time
 	phase  int // 0 none, 1 dm, 2 analytics, 3 transfer
@@ -168,18 +183,42 @@ func (s *StopWatch) StartTransfer() { s.switchTo(3) }
 // Stop ends the current phase.
 func (s *StopWatch) Stop() { s.switchTo(0) }
 
-// Timing returns the accumulated phase durations.
+// Timing returns the accumulated phase durations, counting any in-flight
+// phase up to now. It is a pure read: it neither banks the in-flight slice
+// nor resets the phase start, so calling it twice (or concurrently with a
+// running phase) can no longer double-count — the old implementation
+// silently switched phases, a data race and a double-count trap once
+// queries run concurrently.
 func (s *StopWatch) Timing() Timing {
-	s.switchTo(s.phase) // bank the in-flight slice
-	return s.timing
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.timing
+	if s.phase != 0 {
+		d := time.Since(s.start)
+		switch s.phase {
+		case 1:
+			t.DataManagement += d
+		case 2:
+			t.Analytics += d
+		case 3:
+			t.Transfer += d
+		}
+	}
+	return t
 }
 
 // AddExternal folds in time measured elsewhere (e.g. the virtual cluster's
 // simulated makespan).
-func (s *StopWatch) AddExternal(t Timing) { s.timing.Add(t) }
+func (s *StopWatch) AddExternal(t Timing) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timing.Add(t)
+}
 
 func (s *StopWatch) switchTo(phase int) {
 	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.phase != 0 {
 		d := now.Sub(s.start)
 		switch s.phase {

@@ -52,6 +52,18 @@ func (e *Engine) Supports(q engine.QueryID) bool { return q != engine.Q3Bicluste
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
 
+// SetWorkers pins the map/reduce slot count (serve.Server uses it to split
+// the host's worker budget across admission slots). It also re-sizes an
+// already-installed default LocalScheduler, since Load materializes Workers
+// into it. Call before concurrent queries begin.
+func (e *Engine) SetWorkers(n int) {
+	e.Workers = n
+	if ls, ok := e.Sched.(LocalScheduler); ok {
+		ls.Workers = n
+		e.Sched = ls
+	}
+}
+
 func (e *Engine) splits() int {
 	if e.Splits > 0 {
 		return e.Splits

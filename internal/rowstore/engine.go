@@ -61,6 +61,11 @@ func (e *Engine) Supports(q engine.QueryID) bool {
 	return true
 }
 
+// SetWorkers pins the analytics-kernel worker count (serve.Server uses it to
+// split the host's worker budget across admission slots). Call before
+// concurrent queries begin.
+func (e *Engine) SetWorkers(n int) { e.Workers = n }
+
 // Load implements engine.Engine.
 func (e *Engine) Load(ds *datagen.Dataset) error {
 	db, err := OpenDB(e.dir)

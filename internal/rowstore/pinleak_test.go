@@ -1,0 +1,68 @@
+package rowstore
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// checkNoPins fails if any table's buffer pool still holds pinned pages —
+// the pin-leak detector: a leaked pin would eventually wedge the pool
+// (ErrPoolExhausted) under sustained serving.
+func checkNoPins(t *testing.T, e *Engine, when string) {
+	t.Helper()
+	for name, tab := range e.db.tables {
+		if n := tab.Heap.Pool().PinnedPages(); n != 0 {
+			t.Errorf("%s: table %q has %d pinned pages", when, name, n)
+		}
+		if v := tab.Heap.Pool().InvariantViolations.Load(); v != 0 {
+			t.Errorf("%s: table %q saw %d pin-discipline violations", when, name, v)
+		}
+	}
+}
+
+// Every query, in both modes, must return the buffer pools to zero pins —
+// including queries that error (unsupported, empty selections).
+func TestNoPinLeakAfterQueries(t *testing.T) {
+	p := engine.DefaultParams()
+	for _, mode := range []Mode{ModeR, ModeMadlib} {
+		e := loaded(t, mode)
+		checkNoPins(t, e, e.Name()+" after load")
+		for _, q := range engine.AllQueries() {
+			_, err := e.Run(context.Background(), q, p)
+			if err != nil && !errors.Is(err, engine.ErrUnsupported) {
+				t.Fatalf("%s %s: %v", e.Name(), q, err)
+			}
+			checkNoPins(t, e, e.Name()+" after "+q.String())
+		}
+	}
+}
+
+// Concurrent queries over one row-store engine: the buffer pools are shared
+// across all in-flight scans, so this drives eviction races, pin accounting,
+// and the cursor path under -race, then asserts no pin survived.
+func TestNoPinLeakUnderConcurrentQueries(t *testing.T) {
+	e := loaded(t, ModeR)
+	p := engine.DefaultParams()
+	queries := engine.AllQueries()
+	const clients = 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range queries {
+				q := queries[(i+c)%len(queries)]
+				if _, err := e.Run(context.Background(), q, p); err != nil {
+					t.Errorf("client %d %s: %v", c, q, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	checkNoPins(t, e, "after concurrent queries")
+}

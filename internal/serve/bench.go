@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// Request is one entry of a benchmark query mix.
+type Request struct {
+	Query  engine.QueryID
+	Params engine.Params
+}
+
+// BenchOptions shapes one throughput measurement.
+type BenchOptions struct {
+	// Clients is the number of concurrent closed-loop clients (min 1).
+	Clients int
+	// Duration is the measurement window (default 1s).
+	Duration time.Duration
+	// Think is each client's idle time between queries — the "user reads the
+	// dashboard" gap. Zero means a tight closed loop, which saturates one
+	// core with a single client and therefore cannot show client scaling on
+	// small hosts; a small think time measures what the serving layer is
+	// for: overlapping many mostly-idle clients over shared compute.
+	Think time.Duration
+}
+
+// BenchResult is one (server, client-count) throughput measurement.
+type BenchResult struct {
+	System   string
+	Clients  int
+	Duration time.Duration // measured wall clock, not the requested duration
+	Queries  int64         // completed queries (cache hits included)
+	Errors   int64
+	QPS      float64
+	P50, P99 time.Duration
+
+	CacheHits    int64
+	PeakInFlight int64
+}
+
+// Benchmark drives a server with closed-loop clients for roughly
+// opts.Duration: each client issues its next query opts.Think after the
+// previous one returns, walking the mix round-robin from a per-client offset
+// (so clients spread across the mix instead of stampeding one query). It
+// reports throughput and the client-observed latency distribution —
+// queueing delay in the admission semaphore counts, exactly what a caller
+// of a loaded system experiences; think time does not.
+func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOptions) (BenchResult, error) {
+	if len(mix) == 0 {
+		return BenchResult{}, fmt.Errorf("serve: empty query mix")
+	}
+	clients := opts.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	duration := opts.Duration
+	if duration <= 0 {
+		duration = time.Second
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			i := c % len(mix)
+			for time.Now().Before(deadline) {
+				if bctx.Err() != nil {
+					return
+				}
+				req := mix[i]
+				i = (i + 1) % len(mix)
+				qStart := time.Now()
+				_, _, err := srv.Run(bctx, req.Query, req.Params)
+				if err != nil {
+					if bctx.Err() != nil {
+						return // cancelled mid-query; not a failure
+					}
+					errs[c] = err
+					cancel()
+					return
+				}
+				lats[c] = append(lats[c], time.Since(qStart))
+				if opts.Think > 0 {
+					select {
+					case <-time.After(opts.Think):
+					case <-bctx.Done():
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, err := range errs {
+		if err != nil {
+			return BenchResult{}, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	st := srv.Stats()
+	res := BenchResult{
+		System:       srv.Engine().Name(),
+		Clients:      clients,
+		Duration:     elapsed,
+		Queries:      int64(len(all)),
+		CacheHits:    st.CacheHits,
+		PeakInFlight: st.PeakInFlight,
+	}
+	if len(all) > 0 {
+		res.QPS = float64(len(all)) / elapsed.Seconds()
+		res.P50 = percentile(all, 0.50)
+		res.P99 = percentile(all, 0.99)
+	}
+	return res, nil
+}
+
+// percentile returns the p-quantile of sorted latencies by conventional
+// nearest-rank (ceil(p·n)−1): p50 of an odd count is the true median, and
+// p99 of a sample smaller than 100 is the true maximum rather than a value
+// short of the tail.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}

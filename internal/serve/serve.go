@@ -1,0 +1,303 @@
+// Package serve is the concurrent query-serving layer over a loaded engine
+// (DESIGN.md §11): the piece that turns the paper's one-query-at-a-time
+// benchmark into a system that can take traffic. A Server wraps one loaded
+// engine.Engine and
+//
+//   - admits at most MaxConcurrent queries at a time (a semaphore), so a
+//     burst of clients queues instead of oversubscribing the host;
+//   - splits the parallel-kernel worker budget across the admission slots,
+//     so N in-flight queries at W total workers run ~W/N kernel workers
+//     each instead of N·W goroutines fighting for the same cores;
+//   - answers repeated hot queries from a shared result cache keyed by
+//     (engine, query, params) — the "millions of users" traffic shape,
+//     where most requests are the same few dashboards. Cold-cache twins are
+//     coalesced single-flight: a stampede of identical queries executes
+//     once, and the rest read the leader's result.
+//
+// The engine must obey the engine.Engine concurrency contract: loaded state
+// read-only during Run, per-query scratch only. All single-node engines do;
+// the multinode virtual-cluster engines do not and must not be served.
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/parallel"
+)
+
+// DefaultMaxConcurrent is the admission width when Options leaves it zero.
+const DefaultMaxConcurrent = 4
+
+// WorkerSetter is implemented by engines whose analytics-kernel worker count
+// can be pinned (all single-node engines). Server uses it to divide the
+// host's worker budget across admission slots before serving starts.
+type WorkerSetter interface {
+	SetWorkers(n int)
+}
+
+// Options configures a Server.
+type Options struct {
+	// MaxConcurrent is the number of admission slots (default
+	// DefaultMaxConcurrent). Queries beyond it block until a slot frees.
+	MaxConcurrent int
+	// WorkerBudget is the total kernel-worker budget split across slots
+	// (default parallel.Default(), i.e. GENBASE_PARALLEL or NumCPU). Each
+	// admitted query runs with max(1, WorkerBudget/MaxConcurrent) workers.
+	WorkerBudget int
+	// Cache shares a result cache across servers (e.g. one per engine over
+	// the same dataset). Nil creates a private cache unless DisableCache.
+	Cache *Cache
+	// DisableCache turns result caching off (every query executes).
+	DisableCache bool
+}
+
+// Server admits concurrent read-only queries over one loaded engine.
+type Server struct {
+	eng    engine.Engine
+	system string
+	slots  chan struct{}
+	cache  *Cache // nil when caching is disabled
+
+	// pending coalesces cold-cache twins (single-flight): the first caller
+	// of a key becomes its leader and executes; concurrent callers of the
+	// same key wait on the channel and read the leader's cached result —
+	// the hot-query stampede executes once instead of once per client.
+	pendMu  sync.Mutex
+	pending map[Key]chan struct{}
+
+	inflight atomic.Int64
+	peak     atomic.Int64
+	admitted atomic.Int64
+}
+
+// New wraps a loaded engine. It pins the engine's worker count to the
+// per-slot share of the budget, so it must be called before concurrent
+// queries begin (SetWorkers is not synchronized — by contract it happens
+// while the engine is idle).
+func New(eng engine.Engine, opts Options) *Server {
+	maxc := opts.MaxConcurrent
+	if maxc <= 0 {
+		maxc = DefaultMaxConcurrent
+	}
+	budget := parallel.Resolve(opts.WorkerBudget)
+	per := budget / maxc
+	if per < 1 {
+		per = 1
+	}
+	if ws, ok := eng.(WorkerSetter); ok {
+		ws.SetWorkers(per)
+	}
+	cache := opts.Cache
+	if cache == nil && !opts.DisableCache {
+		cache = NewCache(0)
+	}
+	if opts.DisableCache {
+		cache = nil
+	}
+	return &Server{
+		eng:     eng,
+		system:  eng.Name(),
+		slots:   make(chan struct{}, maxc),
+		cache:   cache,
+		pending: make(map[Key]chan struct{}),
+	}
+}
+
+// Engine returns the wrapped engine.
+func (s *Server) Engine() engine.Engine { return s.eng }
+
+// MaxConcurrent returns the admission width.
+func (s *Server) MaxConcurrent() int { return cap(s.slots) }
+
+// Run executes one query, blocking for an admission slot when the server is
+// at width. The bool reports whether the result came from the cache (or a
+// coalesced twin's execution). Cached results are shared between callers:
+// the Answer must be treated as immutable (every engine already builds
+// answers from fresh allocations and nothing downstream mutates them).
+func (s *Server) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
+	if s.cache == nil {
+		return s.execute(ctx, q, p)
+	}
+	key := Key{System: s.system, Query: q, Params: p}
+	if res, ok := s.cache.get(key); ok {
+		return res, true, nil
+	}
+	for first := true; ; first = false {
+		// Re-check the cache on every pass but the first (whose miss the get
+		// above just recorded): a woken waiter's twin, or a retrier that
+		// raced ahead after a failed leader, may have cached the answer
+		// between the last wait and this contention round. peek, not get —
+		// this caller's miss is already counted.
+		if !first {
+			if res, ok := s.cache.peek(key); ok {
+				return res, true, nil
+			}
+		}
+		s.pendMu.Lock()
+		ch, exists := s.pending[key]
+		if !exists {
+			// Leader: execute once and publish for the waiters.
+			ch = make(chan struct{})
+			s.pending[key] = ch
+			s.pendMu.Unlock()
+			res, hit, err := s.execute(ctx, q, p)
+			if err == nil {
+				s.cache.put(key, res)
+			}
+			s.pendMu.Lock()
+			delete(s.pending, key)
+			s.pendMu.Unlock()
+			close(ch)
+			return res, hit, err
+		}
+		s.pendMu.Unlock()
+		// Waiter: a twin of this exact query is executing; wait for it
+		// instead of burning an admission slot on a duplicate, then loop —
+		// the next pass reads the leader's cached result or contends to
+		// lead the retry if the leader failed.
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// execute admits one query through the semaphore and runs it on the engine.
+func (s *Server) execute(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.slots
+	}()
+	cur := s.inflight.Add(1)
+	for {
+		old := s.peak.Load()
+		if cur <= old || s.peak.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	s.admitted.Add(1)
+	res, err := s.eng.Run(ctx, q, p)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, false, nil
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Admitted is the number of queries that executed on the engine (cache
+	// hits are not admitted).
+	Admitted int64
+	// InFlight is the current number of executing queries.
+	InFlight int64
+	// PeakInFlight is the high-water mark of concurrent executing queries;
+	// it can never exceed MaxConcurrent.
+	PeakInFlight int64
+	// CacheHits / CacheMisses are the cache counters, zero when caching is
+	// disabled.
+	CacheHits, CacheMisses int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Admitted:     s.admitted.Load(),
+		InFlight:     s.inflight.Load(),
+		PeakInFlight: s.peak.Load(),
+	}
+	if s.cache != nil {
+		st.CacheHits = s.cache.hits.Load()
+		st.CacheMisses = s.cache.misses.Load()
+	}
+	return st
+}
+
+// Key identifies one cacheable query execution. engine.Params is a flat
+// comparable struct, so the key works as a map key directly — no hashing or
+// serialization.
+type Key struct {
+	System string
+	Query  engine.QueryID
+	Params engine.Params
+}
+
+// DefaultCacheEntries bounds a cache created with size 0.
+const DefaultCacheEntries = 256
+
+// Cache is a bounded shared result cache. Entries evict FIFO — the workload
+// this serves (a small set of hot dashboard queries hit by many clients) has
+// no use for fancier policies, and FIFO keeps eviction deterministic.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*engine.Result
+	order   []Key // insertion order for FIFO eviction
+	max     int
+
+	hits, misses atomic.Int64
+}
+
+// NewCache creates a cache holding at most max results (0 means
+// DefaultCacheEntries).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{entries: make(map[Key]*engine.Result, max), max: max}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) get(k Key) (*engine.Result, bool) {
+	c.mu.Lock()
+	res, ok := c.entries[k]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return res, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// peek is get without recording a miss (a found entry still counts as a
+// hit). Server.Run's post-admission re-check uses it so one executed query
+// records exactly one miss.
+func (c *Cache) peek(k Key) (*engine.Result, bool) {
+	c.mu.Lock()
+	res, ok := c.entries[k]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return res, true
+	}
+	return nil, false
+}
+
+func (c *Cache) put(k Key, res *engine.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return // an earlier put won (e.g. across servers sharing the cache)
+	}
+	if len(c.entries) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[k] = res
+	c.order = append(c.order, k)
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// stubEngine is a controllable engine for admission/cache tests.
+type stubEngine struct {
+	name    string
+	delay   time.Duration
+	runs    atomic.Int64
+	active  atomic.Int64
+	peak    atomic.Int64
+	workers atomic.Int64 // last SetWorkers value
+}
+
+func (s *stubEngine) Name() string                 { return s.name }
+func (s *stubEngine) Load(*datagen.Dataset) error  { return nil }
+func (s *stubEngine) Supports(engine.QueryID) bool { return true }
+func (s *stubEngine) Close() error                 { return nil }
+func (s *stubEngine) SetWorkers(n int)             { s.workers.Store(int64(n)) }
+
+func (s *stubEngine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
+	cur := s.active.Add(1)
+	defer s.active.Add(-1)
+	for {
+		old := s.peak.Load()
+		if cur <= old || s.peak.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.runs.Add(1)
+	return &engine.Result{Query: q, Answer: &engine.SVDAnswer{SingularValues: []float64{float64(q)}}}, nil
+}
+
+func TestAdmissionNeverExceedsWidth(t *testing.T) {
+	eng := &stubEngine{name: "stub", delay: 5 * time.Millisecond}
+	srv := New(eng, Options{MaxConcurrent: 2, DisableCache: true})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct params per call so nothing could be deduplicated.
+			p := engine.DefaultParams()
+			p.Seed = uint64(i)
+			if _, _, err := srv.Run(context.Background(), engine.Q4SVD, p); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := eng.peak.Load(); got > 2 {
+		t.Fatalf("engine saw %d concurrent queries, admission width is 2", got)
+	}
+	st := srv.Stats()
+	if st.PeakInFlight > 2 {
+		t.Fatalf("server reports peak in-flight %d > width 2", st.PeakInFlight)
+	}
+	if st.Admitted != 16 {
+		t.Fatalf("admitted %d of 16", st.Admitted)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight %d after all queries returned", st.InFlight)
+	}
+}
+
+func TestCacheServesRepeatedQueries(t *testing.T) {
+	eng := &stubEngine{name: "stub"}
+	srv := New(eng, Options{MaxConcurrent: 2})
+	p := engine.DefaultParams()
+	var first *engine.Result
+	for i := 0; i < 10; i++ {
+		res, hit, err := srv.Run(context.Background(), engine.Q2Covariance, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if hit {
+				t.Fatal("first query reported a cache hit")
+			}
+			first = res
+		} else {
+			if !hit {
+				t.Fatalf("query %d missed the cache", i)
+			}
+			if res != first {
+				t.Fatalf("cache returned a different result pointer")
+			}
+		}
+	}
+	if got := eng.runs.Load(); got != 1 {
+		t.Fatalf("engine executed %d times, want 1", got)
+	}
+	st := srv.Stats()
+	if st.CacheHits != 9 {
+		t.Fatalf("cache hits %d, want 9", st.CacheHits)
+	}
+	// Different params miss.
+	p2 := p
+	p2.DiseaseID++
+	if _, hit, err := srv.Run(context.Background(), engine.Q2Covariance, p2); err != nil || hit {
+		t.Fatalf("changed params: hit=%v err=%v", hit, err)
+	}
+	if got := eng.runs.Load(); got != 2 {
+		t.Fatalf("engine executed %d times after param change, want 2", got)
+	}
+	// Admitted counts engine executions only, and each executed query
+	// records exactly one miss (the post-admission re-check must not
+	// double-count).
+	st = srv.Stats()
+	if st.Admitted != 2 {
+		t.Fatalf("admitted %d, want 2 (cache hits are not admitted)", st.Admitted)
+	}
+	if st.CacheMisses != 2 {
+		t.Fatalf("cache misses %d, want 2", st.CacheMisses)
+	}
+}
+
+// A cold-cache stampede of identical queries must coalesce onto one engine
+// execution even when admission slots are free for all of them.
+func TestColdCacheStampedeExecutesOnce(t *testing.T) {
+	eng := &stubEngine{name: "stub", delay: 20 * time.Millisecond}
+	srv := New(eng, Options{MaxConcurrent: 8})
+	p := engine.DefaultParams()
+	const twins = 8
+	results := make([]*engine.Result, twins)
+	var wg sync.WaitGroup
+	for i := 0; i < twins; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := srv.Run(context.Background(), engine.Q4SVD, p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if got := eng.runs.Load(); got != 1 {
+		t.Fatalf("stampede of %d identical queries executed %d times, want 1", twins, got)
+	}
+	for i := 1; i < twins; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("twin %d got a different result pointer", i)
+		}
+	}
+	if st := srv.Stats(); st.Admitted != 1 {
+		t.Fatalf("admitted %d, want 1", st.Admitted)
+	}
+}
+
+func TestWorkerBudgetSplitAcrossSlots(t *testing.T) {
+	for _, tc := range []struct {
+		budget, slots, want int
+	}{
+		{budget: 8, slots: 4, want: 2},
+		{budget: 3, slots: 4, want: 1}, // never below one worker
+		{budget: 9, slots: 2, want: 4},
+	} {
+		eng := &stubEngine{name: "stub"}
+		New(eng, Options{MaxConcurrent: tc.slots, WorkerBudget: tc.budget})
+		if got := eng.workers.Load(); got != int64(tc.want) {
+			t.Errorf("budget %d over %d slots: SetWorkers(%d), want %d", tc.budget, tc.slots, got, tc.want)
+		}
+	}
+}
+
+func TestCacheEvictsFIFO(t *testing.T) {
+	c := NewCache(2)
+	mk := func(i int) (Key, *engine.Result) {
+		p := engine.DefaultParams()
+		p.Seed = uint64(i)
+		return Key{System: "s", Query: engine.Q1Regression, Params: p},
+			&engine.Result{Query: engine.Q1Regression}
+	}
+	k1, r1 := mk(1)
+	k2, r2 := mk(2)
+	k3, r3 := mk(3)
+	c.put(k1, r1)
+	c.put(k2, r2)
+	c.put(k3, r3) // evicts k1
+	if _, ok := c.get(k1); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.get(k2); !ok {
+		t.Fatal("second entry evicted early")
+	}
+	if _, ok := c.get(k3); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, max 2", c.Len())
+	}
+}
+
+func TestBenchmarkDriverCountsAndPercentiles(t *testing.T) {
+	eng := &stubEngine{name: "stub", delay: time.Millisecond}
+	srv := New(eng, Options{MaxConcurrent: 4, DisableCache: true})
+	mix := []Request{{Query: engine.Q1Regression, Params: engine.DefaultParams()}}
+	res, err := Benchmark(context.Background(), srv, mix, BenchOptions{Clients: 4, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 || res.QPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("bad percentiles: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.PeakInFlight > 4 {
+		t.Fatalf("peak in-flight %d > width 4", res.PeakInFlight)
+	}
+}
+
+// The serve acceptance contract (ISSUE 3): N concurrent queries through the
+// serving layer produce answers bitwise identical to a serial run, for every
+// single-node engine and every query it supports. reflect.DeepEqual compares
+// the answer structs' float64 payloads exactly — no tolerance — so any
+// shared-state corruption (scratch reuse, pool races, pivot aliasing) that
+// flips even one bit fails here. Run with -race this doubles as the data-race
+// stress test for the whole storage→engine→kernel path.
+func TestConcurrentAnswersBitwiseIdenticalToSerial(t *testing.T) {
+	ds := datagen.MustGenerate(datagen.Config{Size: datagen.Small, Scale: 0.4, Seed: 7})
+	params := engine.DefaultParams()
+	queries := engine.AllQueries()
+
+	for _, cfg := range core.SingleNodeConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			eng := cfg.New(1, t.TempDir())
+			defer eng.Close()
+			if err := eng.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+
+			// Serial ground truth, straight on the engine.
+			serial := make(map[engine.QueryID]any)
+			var supported []engine.QueryID
+			for _, q := range queries {
+				if !eng.Supports(q) {
+					continue
+				}
+				res, err := eng.Run(context.Background(), q, params)
+				if err != nil {
+					t.Fatalf("serial %s: %v", q, err)
+				}
+				serial[q] = res.Answer
+				supported = append(supported, q)
+			}
+
+			// Concurrent: C clients each run the full supported list through
+			// the serving layer, cache off so every run truly executes.
+			const clients = 4
+			srv := New(eng, Options{MaxConcurrent: clients, DisableCache: true})
+			errCh := make(chan error, clients)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := range supported {
+						// Stagger starting points so different queries overlap.
+						q := supported[(i+c)%len(supported)]
+						res, _, err := srv.Run(context.Background(), q, params)
+						if err != nil {
+							errCh <- fmt.Errorf("client %d %s: %w", c, q, err)
+							return
+						}
+						if !reflect.DeepEqual(res.Answer, serial[q]) {
+							errCh <- fmt.Errorf("client %d: %s answer diverges from serial run", c, q)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Error(err)
+			}
+		})
+	}
+}

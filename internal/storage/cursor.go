@@ -2,7 +2,9 @@ package storage
 
 // Cursor iterates a heap file record-at-a-time (the Volcano executor's
 // access path). It keeps the current page pinned between records, unpinning
-// when it advances to the next page or closes.
+// when it advances to the next page or closes. A cursor belongs to one
+// goroutine; any number of cursors may scan the same heap file concurrently
+// (the buffer pool arbitrates).
 type Cursor struct {
 	h        *HeapFile
 	pageNum  int64
@@ -44,7 +46,11 @@ func (c *Cursor) Next() ([]byte, bool, error) {
 				return rec, true, nil
 			}
 		}
-		c.h.pool.Unpin(c.pageNum, false)
+		if err := c.h.pool.Unpin(c.pageNum, false); err != nil {
+			c.finished = true
+			c.page = nil
+			return nil, false, err
+		}
 		c.page = nil
 	}
 }

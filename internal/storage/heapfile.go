@@ -8,6 +8,12 @@ import (
 
 // HeapFile is an append-oriented record file backed by slotted pages through
 // a buffer pool. Each relational table in the row store is one heap file.
+//
+// Concurrency: the read paths (FetchRecord, FetchRecordInto, Scan, cursors)
+// are safe to use from any number of goroutines once loading is done — they
+// share the goroutine-safe buffer pool and touch no heap-file state. Append
+// is single-writer: the load phase runs it from one goroutine (DESIGN.md
+// §11).
 type HeapFile struct {
 	path     string
 	file     *os.File
@@ -54,7 +60,8 @@ func (h *HeapFile) NumRecords() int64 { return h.records }
 // NumPages returns the number of allocated pages.
 func (h *HeapFile) NumPages() int64 { return h.numPages }
 
-// Pool exposes buffer-pool statistics for the ablation benches.
+// Pool exposes buffer-pool statistics for the ablation benches and the
+// pin-leak detector.
 func (h *HeapFile) Pool() *BufferPool { return h.pool }
 
 // RID locates one record in a heap file.
@@ -87,14 +94,14 @@ func (h *HeapFile) FetchRecord(rid RID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer h.pool.Unpin(rid.Page, false)
 	rec, ok := p.Record(rid.Slot)
 	if !ok {
+		h.pool.Unpin(rid.Page, false)
 		return nil, fmt.Errorf("storage: no record at page %d slot %d", rid.Page, rid.Slot)
 	}
 	out := make([]byte, len(rec))
 	copy(out, rec)
-	return out, nil
+	return out, h.pool.Unpin(rid.Page, false)
 }
 
 // FetchRecordInto is FetchRecord reusing a caller buffer; the result aliases
@@ -104,16 +111,17 @@ func (h *HeapFile) FetchRecordInto(rid RID, buf []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer h.pool.Unpin(rid.Page, false)
 	rec, ok := p.Record(rid.Slot)
 	if !ok {
+		h.pool.Unpin(rid.Page, false)
 		return nil, fmt.Errorf("storage: no record at page %d slot %d", rid.Page, rid.Slot)
 	}
 	buf = append(buf[:0], rec...)
-	return buf, nil
+	return buf, h.pool.Unpin(rid.Page, false)
 }
 
 // Append inserts a record, allocating a new page when the current one fills.
+// Single-writer: callers append from one goroutine (the load phase).
 func (h *HeapFile) Append(record []byte) error {
 	if len(record) > PageSize-16 {
 		return fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(record))
@@ -124,12 +132,16 @@ func (h *HeapFile) Append(record []byte) error {
 			return err
 		}
 		if slot, err := p.InsertRecord(record); err == nil {
-			h.pool.Unpin(h.lastPage, true)
+			if err := h.pool.Unpin(h.lastPage, true); err != nil {
+				return err
+			}
 			h.lastSlot = slot
 			h.records++
 			return nil
 		}
-		h.pool.Unpin(h.lastPage, false)
+		if err := h.pool.Unpin(h.lastPage, false); err != nil {
+			return err
+		}
 	}
 	p, pageNum, err := h.pool.NewPage()
 	if err != nil {
@@ -140,7 +152,9 @@ func (h *HeapFile) Append(record []byte) error {
 		h.pool.Unpin(pageNum, false)
 		return err
 	}
-	h.pool.Unpin(pageNum, true)
+	if err := h.pool.Unpin(pageNum, true); err != nil {
+		return err
+	}
 	h.lastPage = pageNum
 	h.lastSlot = slot
 	h.numPages = pageNum + 1
@@ -167,7 +181,9 @@ func (h *HeapFile) Scan(fn func(record []byte) error) error {
 				return err
 			}
 		}
-		h.pool.Unpin(pageNum, false)
+		if err := h.pool.Unpin(pageNum, false); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -169,7 +169,7 @@ func TestHeapFileSurvivesEviction(t *testing.T) {
 	if count != n {
 		t.Fatalf("scanned %d of %d", count, n)
 	}
-	if h.Pool().Evictions == 0 {
+	if h.Pool().Evictions.Load() == 0 {
 		t.Fatal("test should have exercised eviction")
 	}
 }
@@ -229,8 +229,8 @@ func TestBufferPoolStats(t *testing.T) {
 	}
 	h.Scan(func([]byte) error { return nil })
 	pool := h.Pool()
-	if pool.Hits == 0 || pool.Hits+pool.Misses == 0 {
-		t.Fatalf("stats not tracked: hits=%d misses=%d", pool.Hits, pool.Misses)
+	if pool.Hits.Load() == 0 || pool.Hits.Load()+pool.Misses.Load() == 0 {
+		t.Fatalf("stats not tracked: hits=%d misses=%d", pool.Hits.Load(), pool.Misses.Load())
 	}
 }
 
