@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/plan"
+)
+
+// runExplain prints the compiled plan of every scenario for every
+// single-node configuration: operator → arguments → phase tag → the
+// engine's physical implementation. The output is deterministic (no data is
+// loaded, no timings taken); CI diffs it against the committed PLANS.txt so
+// any plan change — a new operator, a capability regression, a phase-tag
+// move — shows up in review.
+func runExplain() error {
+	// One scratch dir serves every engine: explain never loads data, the
+	// disk-backed engines just need a root to exist.
+	dir, err := os.MkdirTemp("", "genbase-explain-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	for _, cfg := range core.SingleNodeConfigs() {
+		eng := cfg.New(1, dir)
+		defer eng.Close()
+		phys, ok := eng.(plan.Physical)
+		if !ok {
+			return fmt.Errorf("%s registers no physical operators", cfg.Name)
+		}
+		for _, q := range engine.AllScenarios() {
+			if !plan.Supports(phys.Capabilities(), q) {
+				fmt.Printf("%s plan for %s: unsupported (missing operators:", cfg.Name, q)
+				need, _ := plan.OpsFor(q)
+				for _, k := range (need &^ phys.Capabilities()).Kinds() {
+					fmt.Printf(" %s", k)
+				}
+				fmt.Printf(")\n\n")
+				continue
+			}
+			pl, err := plan.Compile(q, engine.DefaultParams())
+			if err != nil {
+				return err
+			}
+			fmt.Print(plan.Explain(pl, phys))
+			fmt.Println()
+		}
+	}
+	return nil
+}

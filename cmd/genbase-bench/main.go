@@ -45,8 +45,16 @@ func main() {
 	serveCache := flag.Bool("serve-cache", false, "serve mode: enable the shared result cache (repeated queries answered without re-execution)")
 	serveSize := flag.String("serve-size", "small", "serve mode: dataset preset")
 	serveOut := flag.String("serve-out", "", "serve mode: write the results JSON (the BENCH_serve.json baseline) to this file")
+	explain := flag.Bool("explain", false, "print the compiled plan of every scenario per engine (operator → physical impl → phase tag) and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	flag.Parse()
+
+	if *explain {
+		if err := runExplain(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *workers > 0 {
 		parallel.SetDefault(*workers)

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	system := flag.String("system", "vanilla-r", "configuration: one of "+fmt.Sprint(systemNames()))
-	query := flag.String("query", "regression", "query: regression|covariance|biclustering|svd|statistics")
+	query := flag.String("query", "regression", "query: regression|covariance|biclustering|svd|statistics|cohort-regression")
 	size := flag.String("size", "small", "dataset preset: small|medium|large|xlarge")
 	scale := flag.Float64("scale", 1.0, "dimension multiplier")
 	seed := flag.Uint64("seed", 1, "generator seed")
@@ -153,7 +153,7 @@ func loadDataset(path string) (*datagen.Dataset, error) {
 }
 
 func parseQuery(s string) (engine.QueryID, error) {
-	for _, q := range engine.AllQueries() {
+	for _, q := range engine.AllScenarios() {
 		if q.String() == s {
 			return q, nil
 		}

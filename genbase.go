@@ -92,17 +92,27 @@ type (
 	TermStat = engine.TermStat
 )
 
-// The five GenBase queries.
+// The five GenBase queries, plus the planner-only scenarios added on top of
+// the paper's workload (each compiles to the shared operator IR in
+// internal/plan and runs on every engine whose physical operators cover it —
+// no per-engine query code; see README "adding a new query").
 const (
 	Q1Regression   = engine.Q1Regression
 	Q2Covariance   = engine.Q2Covariance
 	Q3Biclustering = engine.Q3Biclustering
 	Q4SVD          = engine.Q4SVD
 	Q5Statistics   = engine.Q5Statistics
+	// Q6CohortRegression regresses drug response over only the patients in
+	// the Params.DiseaseID cohort — Q1×Q2's predicates combined.
+	Q6CohortRegression = engine.Q6CohortRegression
 )
 
 // Queries lists the benchmark queries in paper order.
 func Queries() []QueryID { return engine.AllQueries() }
+
+// Scenarios lists every runnable query: the paper's five plus the
+// planner-only additions.
+func Scenarios() []QueryID { return engine.AllScenarios() }
 
 // BenjaminiHochberg converts Q5's per-term p-values into FDR-adjusted
 // q-values — the standard multiple-testing correction when screening many GO

@@ -165,3 +165,24 @@ func (BinaryGlue) TransferVector(ctx context.Context, v []float64) ([]float64, e
 	copy(out, v)
 	return out, nil
 }
+
+// TransferMatrixTimed ships x across the glue boundary under the transfer
+// phase, releasing x back to the arena when the glue produced a fresh
+// matrix. This is the kernel-side idiom every "+R"/UDF physical operator
+// opens with; callers switch the watch to analytics themselves once their
+// remaining operands have crossed. x is consumed on every path — on a
+// transfer failure (e.g. cancellation mid-COPY) it is released to the
+// arena, upholding the plan executor's "kernels own their matrix inputs"
+// contract so aborted queries don't bleed pooled matrices to the GC.
+func TransferMatrixTimed(ctx context.Context, g Glue, sw *engine.StopWatch, x *linalg.Matrix) (*linalg.Matrix, error) {
+	sw.StartTransfer()
+	out, err := g.TransferMatrix(ctx, x)
+	if err != nil {
+		linalg.PutMatrix(x)
+		return nil, err
+	}
+	if out != x {
+		linalg.PutMatrix(x)
+	}
+	return out, nil
+}

@@ -3,13 +3,11 @@ package arraydb
 import (
 	"context"
 	"fmt"
-	"math"
 	"time"
 
-	"github.com/genbase/genbase/internal/bicluster"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
-	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/plan"
 )
 
 // Engine is the SciDB configuration. An optional Accelerator offloads the
@@ -63,8 +61,9 @@ func (e *Engine) Name() string {
 	return "scidb"
 }
 
-// Supports implements engine.Engine: SciDB runs all five queries.
-func (e *Engine) Supports(engine.QueryID) bool { return true }
+// Supports implements engine.Engine, derived from the registered physical
+// operators (ops.go): SciDB implements the full vocabulary.
+func (e *Engine) Supports(q engine.QueryID) bool { return plan.Supports(e.Capabilities(), q) }
 
 // SetWorkers pins the analytics-kernel worker count (serve.Server uses it to
 // split the host's worker budget across admission slots). Call before
@@ -102,25 +101,17 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 	return nil
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine: compile the query into the shared operator
+// IR and execute it against this engine's physical operators (ops.go).
 func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
 	if e.expr == nil {
 		return nil, fmt.Errorf("arraydb: not loaded")
 	}
-	switch q {
-	case engine.Q1Regression:
-		return e.regression(ctx, p)
-	case engine.Q2Covariance:
-		return e.covariance(ctx, p)
-	case engine.Q3Biclustering:
-		return e.biclustering(ctx, p)
-	case engine.Q4SVD:
-		return e.svd(ctx, p)
-	case engine.Q5Statistics:
-		return e.statistics(ctx, p)
-	default:
-		return nil, engine.ErrUnsupported
+	pl, err := plan.Compile(q, p)
+	if err != nil {
+		return nil, err
 	}
+	return plan.Execute(ctx, e, pl)
 }
 
 // runKernel executes an analytics kernel either on the host (measured
@@ -145,288 +136,6 @@ func (e *Engine) runKernel(ctx context.Context, sw *engine.StopWatch, kind strin
 
 func secondsToDuration(s float64) time.Duration { return time.Duration(s * 1e9) }
 
-func (e *Engine) selectGenes(thr int64) []int64 {
-	var out []int64
-	for g, f := range e.function {
-		if f < thr {
-			out = append(out, int64(g))
-		}
-	}
-	return out
-}
-
 type funcLookup struct{ fns []int64 }
 
 func (f funcLookup) FunctionOf(g int) int64 { return f.fns[g] }
-
-func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes := e.selectGenes(p.FunctionThreshold)
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("arraydb: no genes pass function < %d", p.FunctionThreshold)
-	}
-	// Zero-copy: the chunk-aligned subarray lands in one pooled dense
-	// matrix in a single pass; the ablation path keeps the historical
-	// GatherCols → Materialize double copy.
-	var x *linalg.Matrix
-	if engine.ZeroCopyEnabled() {
-		x = e.expr.GatherColsDense(genes)
-		if err := engine.CheckCtx(ctx); err != nil {
-			linalg.PutMatrix(x)
-			return nil, err
-		}
-		sw.StartAnalytics()
-	} else {
-		sub := e.expr.GatherCols(genes)
-		if err := engine.CheckCtx(ctx); err != nil {
-			return nil, err
-		}
-		sw.StartAnalytics()
-		x = sub.Materialize()
-	}
-
-	// Regression offload is unsupported on the coprocessor ("the Intel MKL
-	// automatic offload of this operation is currently not fully supported"),
-	// so Q1 always runs on the host, even for the accelerated configuration.
-	xi := linalg.AddInterceptColumn(x)
-	linalg.PutMatrix(x)
-	fit, err := linalg.LeastSquares(xi, e.drugResponse)
-	linalg.PutMatrix(xi)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-
-	sel := make([]int, len(genes))
-	for i, g := range genes {
-		sel[i] = int(g)
-	}
-	return &engine.Result{
-		Query:  engine.Q1Regression,
-		Timing: sw.Timing(),
-		Answer: &engine.RegressionAnswer{
-			Coefficients:  fit.Coefficients,
-			RSquared:      fit.RSquared,
-			SelectedGenes: sel,
-			NumPatients:   e.numPats,
-		},
-	}, nil
-}
-
-func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	var pats []int64
-	for i, d := range e.disease {
-		if d == p.DiseaseID {
-			pats = append(pats, int64(i))
-		}
-	}
-	if len(pats) < 2 {
-		return nil, fmt.Errorf("arraydb: fewer than two patients with disease %d", p.DiseaseID)
-	}
-	var cov *linalg.Matrix
-	inBytes := int64(len(pats)) * int64(e.expr.Cols) * 8
-	outBytes := int64(e.expr.Cols) * int64(e.expr.Cols) * 8
-	if engine.ZeroCopyEnabled() {
-		// Zero-copy: gather the patient rows once into pooled dense scratch
-		// and run the shared covariance kernel on it directly. Centering and
-		// accumulation orders match the chunked kernel exactly, so the
-		// answer is bitwise identical.
-		x := e.expr.GatherRowsDense(pats)
-		if err := engine.CheckCtx(ctx); err != nil {
-			linalg.PutMatrix(x)
-			return nil, err
-		}
-		err := e.runKernel(ctx, &sw, "gemm", inBytes, outBytes, func() error {
-			cov = linalg.CovarianceP(x, e.Workers)
-			return nil
-		})
-		linalg.PutMatrix(x)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		sub := e.expr.GatherRows(pats)
-		if err := engine.CheckCtx(ctx); err != nil {
-			return nil, err
-		}
-		err := e.runKernel(ctx, &sw, "gemm", inBytes, outBytes, func() error {
-			cov = sub.CovarianceP(e.Workers) // pdgemm-style chunked kernel
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	sw.StartDM()
-	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{e.function}, len(pats))
-	linalg.PutMatrix(cov)
-	sw.Stop()
-	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
-}
-
-func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	var pats []int64
-	for i := range e.age {
-		if e.gender[i] == int64(p.Gender) && e.age[i] < p.MaxAge {
-			pats = append(pats, int64(i))
-		}
-	}
-	if len(pats) < 4 {
-		return nil, fmt.Errorf("arraydb: only %d patients pass the Q3 filter", len(pats))
-	}
-	var x *linalg.Matrix
-	if engine.ZeroCopyEnabled() {
-		x = e.expr.GatherRowsDense(pats) // one pass, pooled
-	} else {
-		x = e.expr.GatherRows(pats).Materialize() // historical double copy
-	}
-	if err := engine.CheckCtx(ctx); err != nil {
-		linalg.PutMatrix(x)
-		return nil, err
-	}
-
-	var blocks []bicluster.Bicluster
-	inBytes := int64(x.Rows) * int64(x.Cols) * 8
-	err := e.runKernel(ctx, &sw, "bicluster", inBytes, 4096, func() error {
-		var kerr error
-		blocks, kerr = bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
-		return kerr
-	})
-	linalg.PutMatrix(x)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q3Biclustering,
-		Timing: sw.Timing(),
-		Answer: engine.BiclusterAnswerFromBlocks(blocks, pats),
-	}, nil
-}
-
-func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes := e.selectGenes(p.FunctionThreshold)
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("arraydb: no genes pass function < %d", p.FunctionThreshold)
-	}
-	// Zero-copy: hand Lanczos a dense operator over one pooled gather
-	// instead of streaming every iteration's mat-vecs through chunk copies.
-	// Both operators accumulate in the same element order, so the singular
-	// values are bitwise identical.
-	var op linalg.LinearOperator
-	var x *linalg.Matrix
-	if engine.ZeroCopyEnabled() {
-		x = e.expr.GatherColsDense(genes)
-		op = linalg.ATAOperator{A: x, Workers: e.Workers}
-	} else {
-		op = NewATAOperatorP(e.expr.GatherCols(genes), e.Workers)
-	}
-	if err := engine.CheckCtx(ctx); err != nil {
-		linalg.PutMatrix(x)
-		return nil, err
-	}
-
-	var sv []float64
-	inBytes := int64(e.expr.Rows) * int64(len(genes)) * 8
-	outBytes := int64(p.SVDK) * int64(len(genes)+1) * 8
-	err := e.runKernel(ctx, &sw, "lanczos", inBytes, outBytes, func() error {
-		eig, kerr := linalg.Lanczos(op, p.SVDK,
-			linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
-		if kerr != nil {
-			return kerr
-		}
-		sv = make([]float64, len(eig.Values))
-		for i, lam := range eig.Values {
-			if lam < 0 {
-				lam = 0
-			}
-			sv[i] = math.Sqrt(lam)
-		}
-		return nil
-	})
-	linalg.PutMatrix(x)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q4SVD,
-		Timing: sw.Timing(),
-		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: sv},
-	}, nil
-}
-
-func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	step := p.SamplePatientStep()
-	var sampled []int64
-	for i := 0; i < e.numPats; i += step {
-		sampled = append(sampled, int64(i))
-	}
-	means := make([]float64, e.numGen)
-	if engine.ZeroCopyEnabled() {
-		// Zero-copy: stream sampled rows straight off the chunked storage —
-		// as pure views when the array is a single chunk, through one pooled
-		// buffer otherwise. Same ascending-row accumulation order either
-		// way, bitwise-identical means.
-		if v, ok := e.expr.DenseView(); ok {
-			for _, pid := range sampled {
-				for j, x := range v.Row(int(pid)) {
-					means[j] += x
-				}
-			}
-		} else {
-			buf := linalg.GetSlice(e.numGen)
-			for _, pid := range sampled {
-				e.expr.CopyRow(int(pid), buf)
-				for j, v := range buf {
-					means[j] += v
-				}
-			}
-			linalg.PutSlice(buf)
-		}
-	} else {
-		sub := e.expr.GatherRows(sampled)
-		buf := make([]float64, e.numGen)
-		for i := 0; i < sub.Rows; i++ {
-			sub.CopyRow(i, buf)
-			for j, v := range buf {
-				means[j] += v
-			}
-		}
-	}
-	for j := range means {
-		means[j] /= float64(len(sampled))
-	}
-	members := make([][]int32, e.numTerm)
-	for g := 0; g < e.numGen; g++ {
-		row := e.goArr[g*e.numTerm : (g+1)*e.numTerm]
-		for t, b := range row {
-			if b == 1 {
-				members[t] = append(members[t], int32(g))
-			}
-		}
-	}
-
-	var ans *engine.StatsAnswer
-	inBytes := int64(len(means))*8 + int64(len(e.goArr))
-	err := e.runKernel(ctx, &sw, "rank", inBytes, int64(e.numTerm)*16, func() error {
-		var kerr error
-		ans, kerr = engine.EnrichmentTest(ctx, means, members, len(sampled))
-		return kerr
-	})
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
-}

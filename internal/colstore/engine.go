@@ -9,6 +9,7 @@ import (
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/plan"
 )
 
 // Mode selects how analytics are invoked.
@@ -67,9 +68,10 @@ func (e *Engine) Name() string {
 	return "colstore-r"
 }
 
-// Supports implements engine.Engine: both column-store configurations run
-// all five queries.
-func (e *Engine) Supports(engine.QueryID) bool { return true }
+// Supports implements engine.Engine, derived from the registered physical
+// operators (plan.Physical): both column-store configurations implement the
+// full operator vocabulary.
+func (e *Engine) Supports(q engine.QueryID) bool { return plan.Supports(e.Capabilities(), q) }
 
 // SetWorkers pins the analytics-kernel worker count (serve.Server uses it to
 // split the host's worker budget across admission slots). Call before
@@ -143,25 +145,17 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 	return nil
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine: compile the query into the shared operator
+// IR and execute it against this engine's physical operators (ops.go).
 func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
 	if e.micro == nil {
 		return nil, fmt.Errorf("colstore: not loaded")
 	}
-	switch q {
-	case engine.Q1Regression:
-		return e.regression(ctx, p)
-	case engine.Q2Covariance:
-		return e.covariance(ctx, p)
-	case engine.Q3Biclustering:
-		return e.biclustering(ctx, p)
-	case engine.Q4SVD:
-		return e.svd(ctx, p)
-	case engine.Q5Statistics:
-		return e.statistics(ctx, p)
-	default:
-		return nil, engine.ErrUnsupported
+	pl, err := plan.Compile(q, p)
+	if err != nil {
+		return nil, err
 	}
+	return plan.Execute(ctx, e, pl)
 }
 
 // glue returns the boundary used for ordinary analytics calls. The text
@@ -176,16 +170,6 @@ func (e *Engine) glue() analytics.Glue {
 		return e.bin
 	}
 	return e.text
-}
-
-// selectGeneIDs vectorized-scans gene metadata (function predicate tested
-// per dictionary code or run, not per row). Selection vectors and id lists
-// are query-local: engine fields would be shared mutable state under
-// concurrent queries (DESIGN.md §11), and these are tiny (gene-metadata
-// sized, not fact-table sized).
-func (e *Engine) selectGeneIDs(thr int64) []int64 {
-	sel := e.genes.Int("function").Select(func(v int64) bool { return v < thr }, nil)
-	return e.genes.Int("geneid").Gather(sel, nil)
 }
 
 // pivotMicro builds the dense matrix for the given patient and gene id sets
@@ -256,137 +240,12 @@ type funcLookup struct{ fns []int64 }
 
 func (f funcLookup) FunctionOf(g int) int64 { return f.fns[g] }
 
-func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes := e.selectGeneIDs(p.FunctionThreshold)
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("colstore: no genes pass function < %d", p.FunctionThreshold)
-	}
-	x, err := e.pivotMicro(ctx, nil, genes)
-	if err != nil {
-		return nil, err
-	}
-	pivot := x // storage-side matrix: pooled or a view; released below
-	y := e.pats.Float("drugresponse")
-
-	sw.StartTransfer()
-	if x, err = e.glue().TransferMatrix(ctx, x); err != nil {
-		return nil, err
-	}
-	if x != pivot {
-		linalg.PutMatrix(pivot)
-	}
-	if y, err = e.glue().TransferVector(ctx, y); err != nil {
-		return nil, err
-	}
-	sw.StartAnalytics()
-	xi := linalg.AddInterceptColumn(x)
-	linalg.PutMatrix(x)
-	fit, err := linalg.LeastSquares(xi, y)
-	linalg.PutMatrix(xi)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-
-	sel := make([]int, len(genes))
-	for i, g := range genes {
-		sel[i] = int(g)
-	}
-	return &engine.Result{
-		Query:  engine.Q1Regression,
-		Timing: sw.Timing(),
-		Answer: &engine.RegressionAnswer{
-			Coefficients:  fit.Coefficients,
-			RSquared:      fit.RSquared,
-			SelectedGenes: sel,
-			NumPatients:   e.numPatients,
-		},
-	}, nil
-}
-
-func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	sel := e.pats.Int("diseaseid").Select(func(v int64) bool { return v == p.DiseaseID }, nil)
-	pats := e.pats.Int("patientid").Gather(sel, nil)
-	if len(pats) < 2 {
-		return nil, fmt.Errorf("colstore: fewer than two patients with disease %d", p.DiseaseID)
-	}
-	x, err := e.pivotMicro(ctx, pats, nil)
-	if err != nil {
-		return nil, err
-	}
-	pivot := x
-
-	sw.StartTransfer()
-	if x, err = e.glue().TransferMatrix(ctx, x); err != nil {
-		return nil, err
-	}
-	if x != pivot {
-		linalg.PutMatrix(pivot)
-	}
-	sw.StartAnalytics()
-	cov := linalg.CovarianceP(x, e.Workers)
-	linalg.PutMatrix(x)
-
-	sw.StartDM()
-	meta := e.meta
-	if !engine.ZeroCopyEnabled() {
-		meta = funcLookup{e.genes.Int("function").Materialize()} // the historical decode path
-	}
-	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, meta, len(pats))
-	linalg.PutMatrix(cov)
-	sw.Stop()
-	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
-}
-
-func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	age := e.pats.Int("age")
-	sel := e.pats.Int("gender").Select(func(v int64) bool { return v == int64(p.Gender) }, nil)
-	sel = age.SelectRefine(func(v int64) bool { return v < p.MaxAge }, sel)
-	pats := e.pats.Int("patientid").Gather(sel, nil)
-	if len(pats) < 4 {
-		return nil, fmt.Errorf("colstore: only %d patients pass the Q3 filter", len(pats))
-	}
-	x, err := e.pivotMicro(ctx, pats, nil)
-	if err != nil {
-		return nil, err
-	}
-	pivot := x
-
-	var blocks []bicluster.Bicluster
-	if e.mode == ModeUDF {
-		blocks, err = e.biclusterViaUDF(ctx, &sw, x, p)
-	} else {
-		sw.StartTransfer()
-		if x, err = e.text.TransferMatrix(ctx, x); err != nil {
-			return nil, err
-		}
-		sw.StartAnalytics()
-		blocks, err = bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
-	}
-	linalg.PutMatrix(pivot)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q3Biclustering,
-		Timing: sw.Timing(),
-		Answer: engine.BiclusterAnswerFromBlocks(blocks, pats),
-	}, nil
-}
-
 // biclusterViaUDF drives the Cheng–Church loop through the UDF interface:
 // the engine masks found biclusters and re-invokes the UDF, and each
 // invocation re-serializes the working matrix through the text boundary.
 // Numerically identical to bicluster.Run with the same options.
-func (e *Engine) biclusterViaUDF(ctx context.Context, sw *engine.StopWatch, x *linalg.Matrix, p engine.Params) ([]bicluster.Bicluster, error) {
-	opts := bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed}.WithDefaults(x)
+func (e *Engine) biclusterViaUDF(ctx context.Context, sw *engine.StopWatch, x *linalg.Matrix, maxB int, seed uint64) ([]bicluster.Bicluster, error) {
+	opts := bicluster.Options{MaxBiclusters: maxB, Seed: seed}.WithDefaults(x)
 	masker := bicluster.NewMasker(x, opts.Seed)
 	work := x.Clone()
 	var blocks []bicluster.Bicluster
@@ -412,111 +271,4 @@ func (e *Engine) biclusterViaUDF(ctx context.Context, sw *engine.StopWatch, x *l
 		return nil, fmt.Errorf("colstore: no bicluster met the delta threshold")
 	}
 	return blocks, nil
-}
-
-func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes := e.selectGeneIDs(p.FunctionThreshold)
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("colstore: no genes pass function < %d", p.FunctionThreshold)
-	}
-	a, err := e.pivotMicro(ctx, nil, genes)
-	if err != nil {
-		return nil, err
-	}
-	pivot := a
-
-	sw.StartTransfer()
-	if a, err = e.glue().TransferMatrix(ctx, a); err != nil {
-		return nil, err
-	}
-	if a != pivot {
-		linalg.PutMatrix(pivot)
-	}
-	sw.StartAnalytics()
-	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
-	linalg.PutMatrix(a)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q4SVD,
-		Timing: sw.Timing(),
-		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: svd.SingularValues},
-	}, nil
-}
-
-func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	step := int64(p.SamplePatientStep())
-	sums := make([]float64, e.numGenes)
-	sampled := 0
-	for pid := int64(0); pid < int64(e.numPatients); pid += step {
-		sampled++
-	}
-	if e.denseVals && engine.ZeroCopyEnabled() {
-		// Zero-copy: stream the sampled patients' contiguous rows straight
-		// from the dense value column. Per gene the contributions arrive in
-		// ascending patient order, exactly as the selection-vector path
-		// accumulates them, so the means are bitwise identical.
-		g := e.numGenes
-		k := 0
-		for pid := 0; pid < e.numPatients; pid += int(step) {
-			if k%64 == 0 {
-				if err := engine.CheckCtx(ctx); err != nil {
-					return nil, err
-				}
-			}
-			k++
-			row := e.vals[pid*g : (pid+1)*g]
-			for j, v := range row {
-				sums[j] += v
-			}
-		}
-		if sampled > 0 {
-			for j := range sums {
-				sums[j] /= float64(sampled)
-			}
-		}
-	} else {
-		sel := e.micro.Int("patientid").Select(func(v int64) bool { return v%step == 0 }, nil)
-		gc := e.micro.Int("geneid")
-		vals := e.micro.Float("value")
-		counts := make([]int64, e.numGenes)
-		for _, i := range sel {
-			g := gc.At(int(i))
-			sums[g] += vals[i]
-			counts[g]++
-		}
-		for j := range sums {
-			if counts[j] > 0 {
-				sums[j] /= float64(counts[j])
-			}
-		}
-	}
-	// Group GO membership by term.
-	members := make([][]int32, e.numTerms)
-	goGene := e.goTab.Int("geneid")
-	goTerm := e.goTab.Int("goid")
-	for i := 0; i < e.goTab.Len(); i++ {
-		t := goTerm.At(i)
-		members[t] = append(members[t], int32(goGene.At(i)))
-	}
-
-	means := sums
-	var err error
-	sw.StartTransfer()
-	if means, err = e.glue().TransferVector(ctx, means); err != nil {
-		return nil, err
-	}
-	sw.StartAnalytics()
-	ans, err := engine.EnrichmentTest(ctx, means, members, sampled)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
 }

@@ -241,3 +241,42 @@ func SummarizeCovariance(cov *linalg.Matrix, topFrac float64, meta GeneMeta, num
 	}
 	return ans
 }
+
+// FitLeastSquares is the shared host regression kernel body: augment x with
+// an intercept column, solve by QR, and release both matrices to the arena.
+// Every engine whose regression reduces to a native least-squares solve
+// (R's lm, Madlib's C++ UDF, the column/array stores' in-process kernels)
+// funnels through here, so the numerical idiom cannot drift apart across
+// engines — the divergence risk the plan layer exists to remove. x is
+// consumed.
+func FitLeastSquares(x *linalg.Matrix, y []float64) ([]float64, float64, error) {
+	xi := linalg.AddInterceptColumn(x)
+	linalg.PutMatrix(x)
+	fit, err := linalg.LeastSquares(xi, y)
+	linalg.PutMatrix(xi)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fit.Coefficients, fit.RSquared, nil
+}
+
+// TopKSingularValues is the shared host SVD kernel body (Lanczos with full
+// reorthogonalization over AᵀA, identical options everywhere). a is
+// consumed.
+func TopKSingularValues(a *linalg.Matrix, k int, seed uint64, workers int) ([]float64, error) {
+	svd, err := linalg.TopKSVD(a, k, linalg.LanczosOptions{Reorthogonalize: true, Seed: seed, Workers: workers})
+	linalg.PutMatrix(a)
+	if err != nil {
+		return nil, err
+	}
+	return svd.SingularValues, nil
+}
+
+// CovarianceHost is the shared host covariance kernel body. x is consumed.
+// (The array store's offload configuration wraps the same kernel in its
+// device model and keeps release explicit around the offload error paths.)
+func CovarianceHost(x *linalg.Matrix, workers int) *linalg.Matrix {
+	cov := linalg.CovarianceP(x, workers)
+	linalg.PutMatrix(x)
+	return cov
+}

@@ -17,13 +17,21 @@ import (
 // QueryID names a benchmark query.
 type QueryID int
 
-// The five GenBase queries.
+// The five GenBase queries, plus the scenarios added on top of the paper's
+// workload. A scenario is planner-only: it compiles to the shared operator IR
+// (internal/plan) and runs on every engine whose physical operators cover the
+// plan, with zero per-engine query code.
 const (
 	Q1Regression QueryID = iota + 1
 	Q2Covariance
 	Q3Biclustering
 	Q4SVD
 	Q5Statistics
+	// Q6CohortRegression is Q1 restricted to a disease cohort: regress drug
+	// response on the selected genes' expression over only the patients with
+	// Params.DiseaseID — a Q1×Q2 predicate combination no engine had a
+	// hardcoded method for.
+	Q6CohortRegression
 )
 
 func (q QueryID) String() string {
@@ -38,14 +46,23 @@ func (q QueryID) String() string {
 		return "svd"
 	case Q5Statistics:
 		return "statistics"
+	case Q6CohortRegression:
+		return "cohort-regression"
 	default:
 		return fmt.Sprintf("query(%d)", int(q))
 	}
 }
 
-// AllQueries lists the queries in paper order.
+// AllQueries lists the paper's five queries in paper order (the benchmark
+// sweeps iterate these; added scenarios are in AllScenarios).
 func AllQueries() []QueryID {
 	return []QueryID{Q1Regression, Q2Covariance, Q3Biclustering, Q4SVD, Q5Statistics}
+}
+
+// AllScenarios lists every runnable query: the paper's five plus the
+// planner-only additions.
+func AllScenarios() []QueryID {
+	return append(AllQueries(), Q6CohortRegression)
 }
 
 // Params carries the per-query predicates from §3.2. DefaultParams matches
@@ -70,6 +87,11 @@ type Params struct {
 	// Seed drives the deterministic pieces (Lanczos start vector, bicluster
 	// masking).
 	Seed uint64
+	// Q6: select genes with Function < CohortFunctionThreshold. Tighter than
+	// Q1's threshold because the regression runs over a single disease
+	// cohort — the design matrix must keep fewer gene columns than cohort
+	// rows for the least-squares solve to stay determined.
+	CohortFunctionThreshold int64
 }
 
 // DefaultParams returns the paper's example parameters adapted to our scale.
@@ -84,7 +106,52 @@ func DefaultParams() Params {
 		SVDK:              10,
 		SampleFrac:        0.025,
 		Seed:              1,
+		// ~2.5% of the function-code range: a handful of genes, so the
+		// cohort regression stays determined even on the small preset's
+		// ~dozen-patient cohorts.
+		CohortFunctionThreshold: 25,
 	}
+}
+
+// ErrBadParams marks a query rejected at admission because its parameters
+// are out of range. Before the plan layer, bad params flowed silently into
+// the kernels (a SVDK of 0 produced an empty Lanczos run, a SampleFrac of 0
+// quietly sampled every patient); now plan compilation and serve admission
+// both reject them up front.
+var ErrBadParams = errors.New("engine: invalid query parameters")
+
+// Validate checks the parameters a query actually uses. Fields irrelevant to
+// q are ignored — they do not affect the plan, the answer, or the plan
+// fingerprint. It is called at plan-compile time and again at serve
+// admission, so a bad request fails fast instead of inside a kernel.
+func (p Params) Validate(q QueryID) error {
+	switch q {
+	case Q1Regression, Q6CohortRegression:
+		// FunctionThreshold and DiseaseID are unconstrained predicates; an
+		// empty selection is reported by the plan's row guards, not here.
+		return nil
+	case Q2Covariance:
+		// Inverted comparisons so NaN (false on every ordered compare)
+		// lands in the reject branch, not the accept branch.
+		if !(p.CovarianceTopFrac > 0 && p.CovarianceTopFrac <= 1) {
+			return fmt.Errorf("%w: CovarianceTopFrac %v outside (0,1]", ErrBadParams, p.CovarianceTopFrac)
+		}
+	case Q3Biclustering:
+		if p.MaxBiclusters < 1 {
+			return fmt.Errorf("%w: MaxBiclusters %d < 1", ErrBadParams, p.MaxBiclusters)
+		}
+	case Q4SVD:
+		if p.SVDK <= 0 {
+			return fmt.Errorf("%w: SVDK %d <= 0", ErrBadParams, p.SVDK)
+		}
+	case Q5Statistics:
+		if !(p.SampleFrac > 0 && p.SampleFrac < 1) {
+			return fmt.Errorf("%w: SampleFrac %v outside (0,1)", ErrBadParams, p.SampleFrac)
+		}
+	default:
+		return ErrUnsupported
+	}
+	return nil
 }
 
 // SamplePatientStep converts SampleFrac into the deterministic modulus used

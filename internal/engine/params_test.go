@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Table-driven coverage of the per-query parameter admission rules. Each
+// rule only applies to the queries that read the field — bad values in
+// fields a query ignores must not block it.
+func TestParamsValidate(t *testing.T) {
+	base := DefaultParams()
+	cases := []struct {
+		name   string
+		q      QueryID
+		mutate func(*Params)
+		wantOK bool
+	}{
+		{"defaults q1", Q1Regression, nil, true},
+		{"defaults q2", Q2Covariance, nil, true},
+		{"defaults q3", Q3Biclustering, nil, true},
+		{"defaults q4", Q4SVD, nil, true},
+		{"defaults q5", Q5Statistics, nil, true},
+		{"defaults q6", Q6CohortRegression, nil, true},
+
+		{"svdk zero", Q4SVD, func(p *Params) { p.SVDK = 0 }, false},
+		{"svdk negative", Q4SVD, func(p *Params) { p.SVDK = -1 }, false},
+		{"svdk one ok", Q4SVD, func(p *Params) { p.SVDK = 1 }, true},
+
+		{"topfrac zero", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = 0 }, false},
+		{"topfrac negative", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = -0.1 }, false},
+		{"topfrac above one", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = 1.01 }, false},
+		{"topfrac one ok", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = 1 }, true},
+
+		{"maxbiclusters zero", Q3Biclustering, func(p *Params) { p.MaxBiclusters = 0 }, false},
+		{"maxbiclusters negative", Q3Biclustering, func(p *Params) { p.MaxBiclusters = -2 }, false},
+		{"maxbiclusters one ok", Q3Biclustering, func(p *Params) { p.MaxBiclusters = 1 }, true},
+
+		{"topfrac NaN", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = math.NaN() }, false},
+
+		{"samplefrac zero", Q5Statistics, func(p *Params) { p.SampleFrac = 0 }, false},
+		{"samplefrac NaN", Q5Statistics, func(p *Params) { p.SampleFrac = math.NaN() }, false},
+		{"samplefrac negative", Q5Statistics, func(p *Params) { p.SampleFrac = -0.25 }, false},
+		{"samplefrac one", Q5Statistics, func(p *Params) { p.SampleFrac = 1 }, false},
+		{"samplefrac above one", Q5Statistics, func(p *Params) { p.SampleFrac = 2 }, false},
+		{"samplefrac half ok", Q5Statistics, func(p *Params) { p.SampleFrac = 0.5 }, true},
+
+		// Fields the query never reads do not block it.
+		{"q1 ignores svdk", Q1Regression, func(p *Params) { p.SVDK = 0 }, true},
+		{"q2 ignores samplefrac", Q2Covariance, func(p *Params) { p.SampleFrac = 7 }, true},
+		{"q4 ignores maxbiclusters", Q4SVD, func(p *Params) { p.MaxBiclusters = 0 }, true},
+		{"q6 ignores everything kernelish", Q6CohortRegression, func(p *Params) {
+			p.SVDK, p.MaxBiclusters, p.SampleFrac, p.CovarianceTopFrac = 0, 0, 0, 0
+		}, true},
+	}
+	for _, tc := range cases {
+		p := base
+		if tc.mutate != nil {
+			tc.mutate(&p)
+		}
+		err := p.Validate(tc.q)
+		if tc.wantOK && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.wantOK && !errors.Is(err, ErrBadParams) {
+			t.Errorf("%s: want ErrBadParams, got %v", tc.name, err)
+		}
+	}
+	if err := base.Validate(QueryID(42)); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("unknown query: want ErrUnsupported, got %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/plan"
 )
 
 // DefaultSplits is the number of HDFS-block splits per table.
@@ -46,8 +47,10 @@ func New() *Engine { return &Engine{} }
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "hadoop" + e.NameSuffix }
 
-// Supports implements engine.Engine.
-func (e *Engine) Supports(q engine.QueryID) bool { return q != engine.Q3Biclustering }
+// Supports implements engine.Engine, derived from the registered physical
+// operators: the biclustering kernel is absent from Capabilities (ops.go),
+// so any plan containing it is unsupported — no hardcoded query switch.
+func (e *Engine) Supports(q engine.QueryID) bool { return plan.Supports(e.Capabilities(), q) }
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
@@ -116,85 +119,20 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 	return nil
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine: compile the query into the shared operator
+// IR and execute it against this engine's physical operators (ops.go).
 func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
 	if e.micro == nil {
 		return nil, fmt.Errorf("mapreduce: not loaded")
 	}
-	if !e.Supports(q) {
-		return nil, engine.ErrUnsupported
+	pl, err := plan.Compile(q, p)
+	if err != nil {
+		return nil, err
 	}
-	switch q {
-	case engine.Q1Regression:
-		return e.regression(ctx, p)
-	case engine.Q2Covariance:
-		return e.covariance(ctx, p)
-	case engine.Q4SVD:
-		return e.svd(ctx, p)
-	case engine.Q5Statistics:
-		return e.statistics(ctx, p)
-	default:
-		return nil, engine.ErrUnsupported
-	}
+	return plan.Execute(ctx, e, pl)
 }
 
 // --- Hive-style data management jobs ---
-
-// filterGenesJob selects gene ids with function < thr (map-only filter on
-// the genes table).
-func (e *Engine) filterGenesJob(ctx context.Context, thr int64) ([]int64, error) {
-	job := &Job{
-		Name:  "hive-filter-genes",
-		Input: SplitLines(e.genes, e.splits()),
-		Map: func(line string, emit func(k, v string)) error {
-			f := strings.Split(line, ",")
-			fn, err := strconv.ParseInt(f[4], 10, 64)
-			if err != nil {
-				return err
-			}
-			if fn < thr {
-				emit(pad(f[0]), "1")
-			}
-			return nil
-		},
-		Reduce: func(key string, _ []string, emit func(k, v string)) error {
-			emit(key, "1")
-			return nil
-		},
-	}
-	out, err := Run(ctx, job, e.Sched)
-	if err != nil {
-		return nil, err
-	}
-	return collectIDs(out)
-}
-
-// filterPatientsJob selects patient ids with a metadata predicate.
-func (e *Engine) filterPatientsJob(ctx context.Context, name string, pred func(age, gender, disease int64) bool) ([]int64, error) {
-	job := &Job{
-		Name:  name,
-		Input: SplitLines(e.patients, e.splits()),
-		Map: func(line string, emit func(k, v string)) error {
-			f := strings.Split(line, ",")
-			age, _ := strconv.ParseInt(f[1], 10, 64)
-			gender, _ := strconv.ParseInt(f[2], 10, 64)
-			disease, _ := strconv.ParseInt(f[4], 10, 64)
-			if pred(age, gender, disease) {
-				emit(pad(f[0]), "1")
-			}
-			return nil
-		},
-		Reduce: func(key string, _ []string, emit func(k, v string)) error {
-			emit(key, "1")
-			return nil
-		},
-	}
-	out, err := Run(ctx, job, e.Sched)
-	if err != nil {
-		return nil, err
-	}
-	return collectIDs(out)
-}
 
 // joinPivotJob joins the microarray with gene/patient id sets (broadcast
 // map-side join, as Hive does for small dimension tables) and reduces by

@@ -3,7 +3,6 @@ package mapreduce
 import (
 	"context"
 	"fmt"
-	"math"
 	"strconv"
 	"strings"
 
@@ -373,74 +372,6 @@ func (o *mrATAOperator) Apply(x []float64) []float64 {
 	return out
 }
 
-// --- the four supported queries ---
-
-func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes, err := e.filterGenesJob(ctx, p.FunctionThreshold)
-	if err != nil {
-		return nil, err
-	}
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("mapreduce: no genes pass function < %d", p.FunctionThreshold)
-	}
-	x, err := e.joinPivotJob(ctx, genes, nil)
-	if err != nil {
-		return nil, err
-	}
-	y := make([]float64, e.numPats)
-	for _, line := range e.patients {
-		f := strings.Split(line, ",")
-		id, _ := strconv.Atoi(f[0])
-		y[id], _ = strconv.ParseFloat(f[5], 64)
-	}
-
-	sw.StartAnalytics()
-	// Normal equations via MR over [1 | X] row files, solved in the driver.
-	xi := linalg.AddInterceptColumn(x)
-	matrix := matrixLines(xi, e.splits())
-	k := xi.Cols
-	gram, aty, err := e.gramJob(ctx, matrix, k, y)
-	if err != nil {
-		return nil, err
-	}
-	beta, err := solveSymmetric(gram, aty)
-	if err != nil {
-		return nil, err
-	}
-	// R² via a residual-sum job.
-	ssRes, err := e.ssResJob(ctx, matrix, beta, y)
-	if err != nil {
-		return nil, err
-	}
-	my := linalg.Mean(y)
-	ssTot := 0.0
-	for _, v := range y {
-		ssTot += (v - my) * (v - my)
-	}
-	r2 := 0.0
-	if ssTot > 0 {
-		r2 = 1 - ssRes/ssTot
-	}
-	sw.Stop()
-
-	sel := make([]int, len(genes))
-	for i, g := range genes {
-		sel[i] = int(g)
-	}
-	return &engine.Result{
-		Query:  engine.Q1Regression,
-		Timing: sw.Timing(),
-		Answer: &engine.RegressionAnswer{
-			Coefficients:  beta,
-			RSquared:      r2,
-			SelectedGenes: sel,
-			NumPatients:   e.numPats,
-		},
-	}, nil
-}
-
 // ssResJob sums squared residuals with mapper-local accumulation.
 func (e *Engine) ssResJob(ctx context.Context, matrix [][]string, beta, y []float64) (float64, error) {
 	k := len(beta)
@@ -489,46 +420,6 @@ func solveSymmetric(g *linalg.Matrix, b []float64) ([]float64, error) {
 	return qr.Solve(b)
 }
 
-func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	pats, err := e.filterPatientsJob(ctx, "hive-filter-disease",
-		func(_, _, disease int64) bool { return disease == p.DiseaseID })
-	if err != nil {
-		return nil, err
-	}
-	if len(pats) < 2 {
-		return nil, fmt.Errorf("mapreduce: fewer than two patients with disease %d", p.DiseaseID)
-	}
-	x, err := e.joinPivotJob(ctx, allIDs(e.numGenes), pats)
-	if err != nil {
-		return nil, err
-	}
-
-	sw.StartAnalytics()
-	matrix := matrixLines(x, e.splits())
-	means, err := e.colMeansJob(ctx, matrix, x.Cols, x.Rows)
-	if err != nil {
-		return nil, err
-	}
-	cov, err := e.centeredGramJob(ctx, matrix, x.Cols, means)
-	if err != nil {
-		return nil, err
-	}
-	cov.Scale(1 / float64(x.Rows-1))
-
-	sw.StartDM()
-	fns := make([]int64, e.numGenes)
-	for _, line := range e.genes {
-		f := strings.Split(line, ",")
-		id, _ := strconv.Atoi(f[0])
-		fns[id], _ = strconv.ParseInt(f[4], 10, 64)
-	}
-	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, mrFuncLookup{fns}, len(pats))
-	sw.Stop()
-	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
-}
-
 type mrFuncLookup struct{ fns []int64 }
 
 func (f mrFuncLookup) FunctionOf(g int) int64 { return f.fns[g] }
@@ -539,150 +430,6 @@ func allIDs(n int) []int64 {
 		out[i] = int64(i)
 	}
 	return out
-}
-
-func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes, err := e.filterGenesJob(ctx, p.FunctionThreshold)
-	if err != nil {
-		return nil, err
-	}
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("mapreduce: no genes pass function < %d", p.FunctionThreshold)
-	}
-	a, err := e.joinPivotJob(ctx, genes, nil)
-	if err != nil {
-		return nil, err
-	}
-
-	sw.StartAnalytics()
-	op := &mrATAOperator{ctx: ctx, e: e, matrix: matrixLines(a, e.splits()), k: a.Cols}
-	eig, err := linalg.Lanczos(op, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed})
-	if op.err != nil {
-		return nil, op.err
-	}
-	if err != nil {
-		return nil, err
-	}
-	sv := make([]float64, len(eig.Values))
-	for i, lam := range eig.Values {
-		if lam < 0 {
-			lam = 0
-		}
-		sv[i] = math.Sqrt(lam)
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q4SVD,
-		Timing: sw.Timing(),
-		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: sv},
-	}, nil
-}
-
-func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	step := int64(p.SamplePatientStep())
-	// Means per gene over the sample: filter + aggregate with combiners.
-	job := &Job{
-		Name:        "hive-sample-means",
-		Input:       e.micro,
-		NumReducers: e.splits(),
-		Map: func(line string, emit func(k, v string)) error {
-			c1 := strings.IndexByte(line, ',')
-			c2 := c1 + 1 + strings.IndexByte(line[c1+1:], ',')
-			pid, err := strconv.ParseInt(line[c1+1:c2], 10, 64)
-			if err != nil {
-				return err
-			}
-			if pid%step != 0 {
-				return nil
-			}
-			emit(pad(line[:c1]), line[c2+1:]+":1")
-			return nil
-		},
-		Combine: sumCountReduce,
-		Reduce:  sumCountReduce,
-	}
-	out, err := Run(ctx, job, e.Sched)
-	if err != nil {
-		return nil, err
-	}
-	means := make([]float64, e.numGenes)
-	for _, part := range out {
-		for _, line := range part {
-			tab := strings.IndexByte(line, '\t')
-			g, err := parsePadded(line[:tab])
-			if err != nil {
-				return nil, err
-			}
-			colon := strings.LastIndexByte(line, ':')
-			sum, err := strconv.ParseFloat(line[tab+1:colon], 64)
-			if err != nil {
-				return nil, err
-			}
-			cnt, err := strconv.ParseFloat(line[colon+1:], 64)
-			if err != nil {
-				return nil, err
-			}
-			means[g] = sum / cnt
-		}
-	}
-	sampled := 0
-	for pid := int64(0); pid < int64(e.numPats); pid += step {
-		sampled++
-	}
-	// GO members grouped by term with a reduce-side join shape.
-	goJob := &Job{
-		Name:        "hive-go-members",
-		Input:       e.goLines,
-		NumReducers: e.splits(),
-		Map: func(line string, emit func(k, v string)) error {
-			f := strings.Split(line, ",")
-			if f[2] != "1" {
-				return nil
-			}
-			emit(pad(f[1]), f[0])
-			return nil
-		},
-		Reduce: func(key string, values []string, emit func(k, v string)) error {
-			emit(key, strings.Join(values, ","))
-			return nil
-		},
-	}
-	goOut, err := Run(ctx, goJob, e.Sched)
-	if err != nil {
-		return nil, err
-	}
-	members := make([][]int32, e.numTerms)
-	for _, part := range goOut {
-		for _, line := range part {
-			tab := strings.IndexByte(line, '\t')
-			t, err := parsePadded(line[:tab])
-			if err != nil {
-				return nil, err
-			}
-			var gs []int32
-			for _, f := range strings.Split(line[tab+1:], ",") {
-				g, err := strconv.Atoi(f)
-				if err != nil {
-					return nil, err
-				}
-				gs = append(gs, int32(g))
-			}
-			sortInt32(gs)
-			members[t] = gs
-		}
-	}
-
-	sw.StartAnalytics()
-	ans, err := engine.EnrichmentTest(ctx, means, members, sampled)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
 }
 
 // sumCountReduce folds "sum:count" encoded values.

@@ -87,9 +87,14 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.c }
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return e.kind.String() }
 
-// Supports implements engine.Engine: these configurations run all five
-// queries (Hadoop, which does not, wraps the mapreduce engine separately).
-func (e *Engine) Supports(engine.QueryID) bool { return true }
+// Supports implements engine.Engine: these configurations run the paper's
+// five queries (Hadoop, which does not, wraps the mapreduce engine
+// separately). The virtual-cluster engines predate the plan layer and keep
+// hardcoded query methods, so planner-only scenarios (Q6+) are not theirs
+// to claim — Supports must agree with Run's switch.
+func (e *Engine) Supports(q engine.QueryID) bool {
+	return q >= engine.Q1Regression && q <= engine.Q5Statistics
+}
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
@@ -157,6 +162,12 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
 	if e.starts == nil {
 		return nil, fmt.Errorf("multinode: not loaded")
+	}
+	// The virtual-cluster engines keep hardcoded query methods (no plan
+	// compile), so apply the admission point the plan layer gives the
+	// single-node engines for free.
+	if err := p.Validate(q); err != nil {
+		return nil, err
 	}
 	e.c.Reset()
 	var ans any

@@ -3,12 +3,11 @@ package rengine
 import (
 	"context"
 	"fmt"
-	"sort"
 
-	"github.com/genbase/genbase/internal/bicluster"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/plan"
 )
 
 // DefaultMaxCells models R's memory wall at our 1/20 data scale: the medium
@@ -45,8 +44,9 @@ func New() *Engine { return &Engine{} }
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "vanilla-r" }
 
-// Supports implements engine.Engine: R runs all five queries.
-func (e *Engine) Supports(engine.QueryID) bool { return true }
+// Supports implements engine.Engine, derived from the registered physical
+// operators (ops.go): R implements the full vocabulary.
+func (e *Engine) Supports(q engine.QueryID) bool { return plan.Supports(e.Capabilities(), q) }
 
 // SetWorkers pins the analytics-kernel worker count (serve.Server uses it to
 // split the host's worker budget across admission slots). Call before
@@ -137,41 +137,20 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 	return nil
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine: compile the query into the shared operator
+// IR and execute it against this engine's physical operators (ops.go).
 func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
 	if e.ds == nil {
 		return nil, fmt.Errorf("rengine: not loaded")
 	}
-	switch q {
-	case engine.Q1Regression:
-		return e.regression(ctx, p)
-	case engine.Q2Covariance:
-		return e.covariance(ctx, p)
-	case engine.Q3Biclustering:
-		return e.biclustering(ctx, p)
-	case engine.Q4SVD:
-		return e.svd(ctx, p)
-	case engine.Q5Statistics:
-		return e.statistics(ctx, p)
-	default:
-		return nil, engine.ErrUnsupported
+	pl, err := plan.Compile(q, p)
+	if err != nil {
+		return nil, err
 	}
+	return plan.Execute(ctx, e, pl)
 }
 
 // selectGenes applies the Q1/Q4 metadata predicate, returning ascending ids.
-func (e *Engine) selectGenes(threshold int64) []int64 {
-	fn := e.genes.Int("function")
-	gid := e.genes.Int("geneid")
-	var out []int64
-	for i, f := range fn {
-		if f < threshold {
-			out = append(out, gid[i])
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
-}
-
 // pivotGenes restructures the microarray triples into a dense matrix holding
 // the given genes (columns, in the given order; nil = all) for the given
 // patients (rows, in the given order; nil = all, ascending id). This is the
@@ -241,223 +220,7 @@ func (e *Engine) checkMatrixBudget(rows, cols int) error {
 	return nil
 }
 
-func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes := e.selectGenes(p.FunctionThreshold)
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("rengine: no genes pass function < %d", p.FunctionThreshold)
-	}
-	nPat := e.pats.Len()
-	if err := e.checkMatrixBudget(nPat, len(genes)+1); err != nil {
-		return nil, err
-	}
-	x, err := e.pivotGenes(ctx, nil, genes)
-	if err != nil {
-		return nil, err
-	}
-	y := e.pats.Float("drugresponse")
-
-	sw.StartAnalytics()
-	xi := linalg.AddInterceptColumn(x)
-	linalg.PutMatrix(x)
-	fit, err := linalg.LeastSquares(xi, y)
-	linalg.PutMatrix(xi)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-
-	sel := make([]int, len(genes))
-	for i, g := range genes {
-		sel[i] = int(g)
-	}
-	return &engine.Result{
-		Query:  engine.Q1Regression,
-		Timing: sw.Timing(),
-		Answer: &engine.RegressionAnswer{
-			Coefficients:  fit.Coefficients,
-			RSquared:      fit.RSquared,
-			SelectedGenes: sel,
-			NumPatients:   nPat,
-		},
-	}, nil
-}
-
 // funcLookup adapts the genes frame to engine.GeneMeta.
 type funcLookup struct{ fn []int64 }
 
 func (f funcLookup) FunctionOf(g int) int64 { return f.fn[g] }
-
-func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	dis := e.pats.Int("diseaseid")
-	pid := e.pats.Int("patientid")
-	var sel []int64
-	for i, d := range dis {
-		if d == p.DiseaseID {
-			sel = append(sel, pid[i])
-		}
-	}
-	if len(sel) < 2 {
-		return nil, fmt.Errorf("rengine: fewer than two patients with disease %d", p.DiseaseID)
-	}
-	g := e.genes.Len()
-	if err := e.checkMatrixBudget(len(sel), g); err != nil {
-		return nil, err
-	}
-	x, err := e.pivotGenes(ctx, sel, nil)
-	if err != nil {
-		return nil, err
-	}
-
-	sw.StartAnalytics()
-	if int64(g)*int64(g) > e.maxCells() {
-		linalg.PutMatrix(x)
-		return nil, fmt.Errorf("%w: %d×%d covariance matrix", engine.ErrOutOfMemory, g, g)
-	}
-	cov := linalg.CovarianceP(x, e.Workers)
-	linalg.PutMatrix(x)
-	sw.StartDM()
-	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{e.genes.Int("function")}, len(sel))
-	linalg.PutMatrix(cov)
-	sw.Stop()
-	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
-}
-
-func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	age := e.pats.Int("age")
-	gender := e.pats.Int("gender")
-	pid := e.pats.Int("patientid")
-	var sel []int64
-	for i := range age {
-		if gender[i] == int64(p.Gender) && age[i] < p.MaxAge {
-			sel = append(sel, pid[i])
-		}
-	}
-	if len(sel) < 4 {
-		return nil, fmt.Errorf("rengine: only %d patients pass the Q3 filter", len(sel))
-	}
-	g := e.genes.Len()
-	if err := e.checkMatrixBudget(len(sel), g); err != nil {
-		return nil, err
-	}
-	x, err := e.pivotGenes(ctx, sel, nil)
-	if err != nil {
-		return nil, err
-	}
-
-	sw.StartAnalytics()
-	blocks, err := bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
-	linalg.PutMatrix(x)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q3Biclustering,
-		Timing: sw.Timing(),
-		Answer: engine.BiclusterAnswerFromBlocks(blocks, sel),
-	}, nil
-}
-
-func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes := e.selectGenes(p.FunctionThreshold)
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("rengine: no genes pass function < %d", p.FunctionThreshold)
-	}
-	nPat := e.pats.Len()
-	if err := e.checkMatrixBudget(nPat, len(genes)); err != nil {
-		return nil, err
-	}
-	a, err := e.pivotGenes(ctx, nil, genes)
-	if err != nil {
-		return nil, err
-	}
-
-	sw.StartAnalytics()
-	svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
-	linalg.PutMatrix(a)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q4SVD,
-		Timing: sw.Timing(),
-		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: svd.SingularValues},
-	}, nil
-}
-
-func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	step := p.SamplePatientStep()
-	nPat := e.pats.Len()
-	var sampled []int64
-	for i := 0; i < nPat; i += step {
-		sampled = append(sampled, int64(i))
-	}
-	// Mean expression per gene over the sampled patients, straight from the
-	// triples (an R aggregate over the merged selection).
-	g := e.genes.Len()
-	sums := make([]float64, g)
-	if e.denseVals && engine.ZeroCopyEnabled() {
-		// Zero-copy: sampled patients are contiguous rows of the dense
-		// value column; per gene the accumulation order (ascending patient)
-		// matches the triple scan, so means are bitwise identical. Keep the
-		// triple scan's cancellation responsiveness (~every 64 rows).
-		for k, pid := range sampled {
-			if k%64 == 0 {
-				if err := engine.CheckCtx(ctx); err != nil {
-					return nil, err
-				}
-			}
-			row := e.vals[int(pid)*g : (int(pid)+1)*g]
-			for j, v := range row {
-				sums[j] += v
-			}
-		}
-	} else {
-		inSample := make(map[int64]bool, len(sampled))
-		for _, s := range sampled {
-			inSample[s] = true
-		}
-		gc := e.micro.Int("geneid")
-		pc := e.micro.Int("patientid")
-		vc := e.micro.Float("value")
-		for k := range vc {
-			if k%65536 == 0 {
-				if err := engine.CheckCtx(ctx); err != nil {
-					return nil, err
-				}
-			}
-			if inSample[pc[k]] {
-				sums[gc[k]] += vc[k]
-			}
-		}
-	}
-	for j := range sums {
-		sums[j] /= float64(len(sampled))
-	}
-	// Group GO membership triples by term: the join side of the enrichment.
-	members := make([][]int32, e.ds.Dims.GOTerms)
-	goGene := e.goTri.Int("geneid")
-	goTerm := e.goTri.Int("goid")
-	for k := range goGene {
-		members[goTerm[k]] = append(members[goTerm[k]], int32(goGene[k]))
-	}
-
-	sw.StartAnalytics()
-	ans, err := engine.EnrichmentTest(ctx, sums, members, len(sampled))
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
-}

@@ -5,11 +5,9 @@ import (
 	"fmt"
 
 	"github.com/genbase/genbase/internal/analytics"
-	"github.com/genbase/genbase/internal/bicluster"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
-	"github.com/genbase/genbase/internal/linalg"
-	"github.com/genbase/genbase/internal/relation"
+	planir "github.com/genbase/genbase/internal/plan"
 )
 
 // Mode selects the analytics configuration.
@@ -51,14 +49,11 @@ func (e *Engine) Name() string {
 	return "postgres-r"
 }
 
-// Supports implements engine.Engine. Madlib lacks a biclustering routine
-// ("Hadoop and Postgres + Madlib do not provide sufficient analytics
-// functions to run the biclustering query").
+// Supports implements engine.Engine, derived from the registered physical
+// operators: Madlib does not register the biclustering kernel (ops.go), so
+// any plan containing it is unsupported — no hardcoded query switch.
 func (e *Engine) Supports(q engine.QueryID) bool {
-	if e.mode == ModeMadlib && q == engine.Q3Biclustering {
-		return false
-	}
-	return true
+	return planir.Supports(e.Capabilities(), q)
 }
 
 // SetWorkers pins the analytics-kernel worker count (serve.Server uses it to
@@ -91,259 +86,19 @@ func (e *Engine) Close() error {
 	return e.db.Close()
 }
 
-// Run implements engine.Engine.
+// Run implements engine.Engine: compile the query into the shared operator
+// IR and execute it against this engine's physical operators (ops.go).
 func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
 	if e.db == nil {
 		return nil, fmt.Errorf("rowstore: not loaded")
 	}
-	if !e.Supports(q) {
-		return nil, engine.ErrUnsupported
-	}
-	switch q {
-	case engine.Q1Regression:
-		return e.regression(ctx, p)
-	case engine.Q2Covariance:
-		return e.covariance(ctx, p)
-	case engine.Q3Biclustering:
-		return e.biclustering(ctx, p)
-	case engine.Q4SVD:
-		return e.svd(ctx, p)
-	case engine.Q5Statistics:
-		return e.statistics(ctx, p)
-	default:
-		return nil, engine.ErrUnsupported
-	}
-}
-
-func (e *Engine) regression(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes, err := e.selectedGenes(ctx, p.FunctionThreshold)
+	pl, err := planir.Compile(q, p)
 	if err != nil {
 		return nil, err
 	}
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("rowstore: no genes pass function < %d", p.FunctionThreshold)
-	}
-	x, err := e.pivotJoin(ctx, genes, nil)
-	if err != nil {
-		return nil, err
-	}
-	pivot := x // pooled by the columnar path; released below
-	y, err := e.drugResponses(ctx)
-	if err != nil {
-		return nil, err
-	}
-
-	var fit *linalg.LeastSquaresResult
-	if e.mode == ModeR {
-		sw.StartTransfer()
-		if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
-			return nil, err
-		}
-		if x != pivot {
-			linalg.PutMatrix(pivot)
-		}
-		if y, err = e.glue.TransferVector(ctx, y); err != nil {
-			return nil, err
-		}
-	}
-	sw.StartAnalytics()
-	// Madlib's linear regression is a native C++ UDF; R's lm is native
-	// LAPACK. Both reduce to the same QR solve here.
-	xi := linalg.AddInterceptColumn(x)
-	linalg.PutMatrix(x)
-	fit, err = linalg.LeastSquares(xi, y)
-	linalg.PutMatrix(xi)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-
-	sel := make([]int, len(genes))
-	for i, g := range genes {
-		sel[i] = int(g)
-	}
-	return &engine.Result{
-		Query:  engine.Q1Regression,
-		Timing: sw.Timing(),
-		Answer: &engine.RegressionAnswer{
-			Coefficients:  fit.Coefficients,
-			RSquared:      fit.RSquared,
-			SelectedGenes: sel,
-			NumPatients:   e.numPatients,
-		},
-	}, nil
+	return planir.Execute(ctx, e, pl)
 }
 
 type funcLookup struct{ fns []int64 }
 
 func (f funcLookup) FunctionOf(g int) int64 { return f.fns[g] }
-
-func (e *Engine) covariance(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	disCol := PatientsSchema.MustColIndex("diseaseid")
-	pats, err := e.selectedPatients(ctx, func(r relation.Row) bool { return r[disCol].I == p.DiseaseID })
-	if err != nil {
-		return nil, err
-	}
-	if len(pats) < 2 {
-		return nil, fmt.Errorf("rowstore: fewer than two patients with disease %d", p.DiseaseID)
-	}
-	x, err := e.pivotJoin(ctx, nil, pats)
-	if err != nil {
-		return nil, err
-	}
-	pivot := x
-
-	if e.mode == ModeR {
-		sw.StartTransfer()
-		if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
-			return nil, err
-		}
-		if x != pivot {
-			linalg.PutMatrix(pivot)
-		}
-	}
-	sw.StartAnalytics()
-	cov := linalg.CovarianceP(x, e.Workers)
-	linalg.PutMatrix(x)
-
-	sw.StartDM()
-	fns, err := e.geneFunctions(ctx)
-	if err != nil {
-		return nil, err
-	}
-	ans := engine.SummarizeCovariance(cov, p.CovarianceTopFrac, funcLookup{fns}, len(pats))
-	linalg.PutMatrix(cov)
-	sw.Stop()
-	return &engine.Result{Query: engine.Q2Covariance, Timing: sw.Timing(), Answer: ans}, nil
-}
-
-func (e *Engine) biclustering(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	ageCol := PatientsSchema.MustColIndex("age")
-	genCol := PatientsSchema.MustColIndex("gender")
-	pats, err := e.selectedPatients(ctx, func(r relation.Row) bool {
-		return r[genCol].I == int64(p.Gender) && r[ageCol].I < p.MaxAge
-	})
-	if err != nil {
-		return nil, err
-	}
-	if len(pats) < 4 {
-		return nil, fmt.Errorf("rowstore: only %d patients pass the Q3 filter", len(pats))
-	}
-	x, err := e.pivotJoin(ctx, nil, pats)
-	if err != nil {
-		return nil, err
-	}
-	pivot := x
-
-	sw.StartTransfer()
-	if x, err = e.glue.TransferMatrix(ctx, x); err != nil {
-		return nil, err
-	}
-	if x != pivot {
-		linalg.PutMatrix(pivot)
-	}
-	sw.StartAnalytics()
-	blocks, err := bicluster.Run(x, bicluster.Options{MaxBiclusters: p.MaxBiclusters, Seed: p.Seed})
-	linalg.PutMatrix(x)
-	if err != nil {
-		return nil, err
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q3Biclustering,
-		Timing: sw.Timing(),
-		Answer: engine.BiclusterAnswerFromBlocks(blocks, pats),
-	}, nil
-}
-
-func (e *Engine) svd(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	genes, err := e.selectedGenes(ctx, p.FunctionThreshold)
-	if err != nil {
-		return nil, err
-	}
-	if len(genes) == 0 {
-		return nil, fmt.Errorf("rowstore: no genes pass function < %d", p.FunctionThreshold)
-	}
-	a, err := e.pivotJoin(ctx, genes, nil)
-	if err != nil {
-		return nil, err
-	}
-	pivot := a
-
-	var sv []float64
-	if e.mode == ModeMadlib {
-		// Madlib SVD "in effect simulate[s] matrix computations in SQL and
-		// plpython": Lanczos runs with every mat-vec as a relational plan.
-		sw.StartAnalytics()
-		sv, err = e.madlibSVD(ctx, a, p.SVDK, p.Seed)
-		linalg.PutMatrix(a)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		sw.StartTransfer()
-		if a, err = e.glue.TransferMatrix(ctx, a); err != nil {
-			return nil, err
-		}
-		if a != pivot {
-			linalg.PutMatrix(pivot)
-		}
-		sw.StartAnalytics()
-		svd, err := linalg.TopKSVD(a, p.SVDK, linalg.LanczosOptions{Reorthogonalize: true, Seed: p.Seed, Workers: e.Workers})
-		linalg.PutMatrix(a)
-		if err != nil {
-			return nil, err
-		}
-		sv = svd.SingularValues
-	}
-	sw.Stop()
-	return &engine.Result{
-		Query:  engine.Q4SVD,
-		Timing: sw.Timing(),
-		Answer: &engine.SVDAnswer{SelectedGenes: len(genes), SingularValues: sv},
-	}, nil
-}
-
-func (e *Engine) statistics(ctx context.Context, p engine.Params) (*engine.Result, error) {
-	var sw engine.StopWatch
-	sw.StartDM()
-	means, sampled, err := e.sampleMeans(ctx, p.SamplePatientStep())
-	if err != nil {
-		return nil, err
-	}
-	members, err := e.goMembers(ctx)
-	if err != nil {
-		return nil, err
-	}
-
-	var ans *engine.StatsAnswer
-	if e.mode == ModeMadlib {
-		// Wilcoxon has no Madlib native; the ranking and rank-sums run as
-		// relational plans (SQL simulation).
-		sw.StartAnalytics()
-		ans, err = e.madlibWilcoxon(ctx, means, members, sampled)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		sw.StartTransfer()
-		if means, err = e.glue.TransferVector(ctx, means); err != nil {
-			return nil, err
-		}
-		sw.StartAnalytics()
-		ans, err = engine.EnrichmentTest(ctx, means, members, sampled)
-		if err != nil {
-			return nil, err
-		}
-	}
-	sw.Stop()
-	return &engine.Result{Query: engine.Q5Statistics, Timing: sw.Timing(), Answer: ans}, nil
-}

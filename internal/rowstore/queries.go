@@ -93,58 +93,6 @@ func denseIndex(ids []int64, n int) []int32 {
 // The data-management halves of the five queries, expressed as Volcano plans
 // over the heap tables. Both analytics modes share these plans.
 
-// selectedGenes runs σ(function < thr)(genes) and returns ascending gene ids.
-func (e *Engine) selectedGenes(ctx context.Context, thr int64) ([]int64, error) {
-	genes, err := e.db.Table("genes")
-	if err != nil {
-		return nil, err
-	}
-	fnCol := GenesSchema.MustColIndex("function")
-	idCol := GenesSchema.MustColIndex("geneid")
-	plan := &SortOp{
-		Child: &Project{
-			Child: &Filter{
-				Child: &SeqScan{Ctx: ctx, Table: genes},
-				Pred:  func(r relation.Row) bool { return r[fnCol].I < thr },
-			},
-			Cols: []int{idCol},
-		},
-		Less: func(a, b relation.Row) bool { return a[0].I < b[0].I },
-	}
-	var ids []int64
-	if err := Drain(plan, func(r relation.Row) error {
-		ids = append(ids, r[0].I)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return ids, nil
-}
-
-// selectedPatients runs σ(pred)(patients) and returns ascending patient ids.
-func (e *Engine) selectedPatients(ctx context.Context, pred func(relation.Row) bool) ([]int64, error) {
-	pats, err := e.db.Table("patients")
-	if err != nil {
-		return nil, err
-	}
-	idCol := PatientsSchema.MustColIndex("patientid")
-	plan := &SortOp{
-		Child: &Project{
-			Child: &Filter{Child: &SeqScan{Ctx: ctx, Table: pats}, Pred: pred},
-			Cols:  []int{idCol},
-		},
-		Less: func(a, b relation.Row) bool { return a[0].I < b[0].I },
-	}
-	var ids []int64
-	if err := Drain(plan, func(r relation.Row) error {
-		ids = append(ids, r[0].I)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return ids, nil
-}
-
 // idsTable wraps an id list as a single-column in-memory relation for use as
 // a hash-join build side.
 func idsTable(name string, ids []int64) *relation.Table {

@@ -37,7 +37,6 @@ type BenchResult struct {
 	Clients  int
 	Duration time.Duration // measured wall clock, not the requested duration
 	Queries  int64         // completed queries (cache hits included)
-	Errors   int64
 	QPS      float64
 	P50, P99 time.Duration
 

@@ -9,10 +9,17 @@
 //     so N in-flight queries at W total workers run ~W/N kernel workers
 //     each instead of N·W goroutines fighting for the same cores;
 //   - answers repeated hot queries from a shared result cache keyed by
-//     (engine, query, params) — the "millions of users" traffic shape,
-//     where most requests are the same few dashboards. Cold-cache twins are
+//     (engine, plan fingerprint) — the "millions of users" traffic shape,
+//     where most requests are the same few dashboards. The fingerprint
+//     covers exactly the parameters the compiled plan reads, so two Params
+//     differing only in fields irrelevant to the query (a Q4 request with a
+//     different MaxAge, say) coalesce onto one entry. Cold-cache twins are
 //     coalesced single-flight: a stampede of identical queries executes
 //     once, and the rest read the leader's result.
+//
+// Admission validates parameters by compiling the plan (engine.Params
+// .Validate runs at compile time), so malformed requests are rejected at the
+// door instead of inside a kernel.
 //
 // The engine must obey the engine.Engine concurrency contract: loaded state
 // read-only during Run, per-query scratch only. All single-node engines do;
@@ -26,6 +33,7 @@ import (
 
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/parallel"
+	"github.com/genbase/genbase/internal/plan"
 )
 
 // DefaultMaxConcurrent is the admission width when Options leaves it zero.
@@ -68,6 +76,14 @@ type Server struct {
 	pendMu  sync.Mutex
 	pending map[Key]chan struct{}
 
+	// fps memoizes (query, params) → plan fingerprint. engine.Params is a
+	// flat comparable struct, so the exact-repeat hot path (the traffic
+	// shape the cache serves) skips plan compilation entirely; distinct
+	// Params that compile to the same fingerprint still coalesce in the
+	// result cache. A memoized entry was validated when first compiled.
+	fpMu sync.Mutex
+	fps  map[fpKey]string
+
 	inflight atomic.Int64
 	peak     atomic.Int64
 	admitted atomic.Int64
@@ -103,7 +119,43 @@ func New(eng engine.Engine, opts Options) *Server {
 		slots:   make(chan struct{}, maxc),
 		cache:   cache,
 		pending: make(map[Key]chan struct{}),
+		fps:     make(map[fpKey]string),
 	}
+}
+
+// fpKey memoizes fingerprints per exact parameterization.
+type fpKey struct {
+	q engine.QueryID
+	p engine.Params
+}
+
+// maxMemoizedFingerprints bounds the memo; at the bound the map resets (the
+// workload is a small set of hot parameterizations, so eviction finesse
+// buys nothing).
+const maxMemoizedFingerprints = 4096
+
+// fingerprint returns the plan fingerprint for (q, p), compiling (and
+// therefore validating) on first sight and answering repeats from the memo.
+func (s *Server) fingerprint(q engine.QueryID, p engine.Params) (string, error) {
+	k := fpKey{q, p}
+	s.fpMu.Lock()
+	fp, ok := s.fps[k]
+	s.fpMu.Unlock()
+	if ok {
+		return fp, nil
+	}
+	pl, err := plan.Compile(q, p)
+	if err != nil {
+		return "", err
+	}
+	fp = pl.Fingerprint()
+	s.fpMu.Lock()
+	if len(s.fps) >= maxMemoizedFingerprints {
+		s.fps = make(map[fpKey]string)
+	}
+	s.fps[k] = fp
+	s.fpMu.Unlock()
+	return fp, nil
 }
 
 // Engine returns the wrapped engine.
@@ -118,10 +170,18 @@ func (s *Server) MaxConcurrent() int { return cap(s.slots) }
 // the Answer must be treated as immutable (every engine already builds
 // answers from fresh allocations and nothing downstream mutates them).
 func (s *Server) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
+	// Admission: resolve the plan fingerprint (compiling, and therefore
+	// validating the parameters, on first sight of this parameterization).
+	// Semantically identical requests share a key regardless of irrelevant
+	// Params fields.
+	fp, err := s.fingerprint(q, p)
+	if err != nil {
+		return nil, false, err
+	}
 	if s.cache == nil {
 		return s.execute(ctx, q, p)
 	}
-	key := Key{System: s.system, Query: q, Params: p}
+	key := Key{System: s.system, Fingerprint: fp}
 	if res, ok := s.cache.get(key); ok {
 		return res, true, nil
 	}
@@ -221,13 +281,13 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Key identifies one cacheable query execution. engine.Params is a flat
-// comparable struct, so the key works as a map key directly — no hashing or
-// serialization.
+// Key identifies one cacheable query execution: the serving system plus the
+// compiled plan's fingerprint. The fingerprint canonicalizes the computation
+// (operators plus the parameters they actually read), so parameterizations
+// that differ only in fields the query ignores map to the same entry.
 type Key struct {
-	System string
-	Query  engine.QueryID
-	Params engine.Params
+	System      string
+	Fingerprint string
 }
 
 // DefaultCacheEntries bounds a cache created with size 0.

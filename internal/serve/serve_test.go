@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -169,6 +170,62 @@ func TestColdCacheStampedeExecutesOnce(t *testing.T) {
 	}
 }
 
+// The cache key is the plan fingerprint, which covers exactly the parameters
+// the compiled query reads. Two Params differing only in fields irrelevant
+// to the query (MaxAge, SampleFrac, DiseaseID for Q4) must hit the same
+// entry; a change to a field the query does read (SVDK) must miss.
+func TestCacheKeyIgnoresIrrelevantParams(t *testing.T) {
+	eng := &stubEngine{name: "stub"}
+	srv := New(eng, Options{MaxConcurrent: 2})
+	p := engine.DefaultParams()
+	first, hit, err := srv.Run(context.Background(), engine.Q4SVD, p)
+	if err != nil || hit {
+		t.Fatalf("first run: hit=%v err=%v", hit, err)
+	}
+	// Irrelevant fields changed: Q4's plan never reads them.
+	p2 := p
+	p2.MaxAge += 25
+	p2.SampleFrac = 0.5
+	p2.DiseaseID++
+	p2.Gender = 'F'
+	res, hit, err := srv.Run(context.Background(), engine.Q4SVD, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || res != first {
+		t.Fatalf("Q4 with changed irrelevant params missed the cache (hit=%v)", hit)
+	}
+	if got := eng.runs.Load(); got != 1 {
+		t.Fatalf("engine executed %d times, want 1", got)
+	}
+	// A parameter Q4 does read misses.
+	p3 := p
+	p3.SVDK++
+	if _, hit, err := srv.Run(context.Background(), engine.Q4SVD, p3); err != nil || hit {
+		t.Fatalf("changed SVDK: hit=%v err=%v", hit, err)
+	}
+	if got := eng.runs.Load(); got != 2 {
+		t.Fatalf("engine executed %d times after SVDK change, want 2", got)
+	}
+}
+
+// Admission rejects out-of-range parameters by compiling the plan — the
+// engine must never see the request, with or without a cache.
+func TestAdmissionRejectsBadParams(t *testing.T) {
+	for _, disableCache := range []bool{false, true} {
+		eng := &stubEngine{name: "stub"}
+		srv := New(eng, Options{MaxConcurrent: 2, DisableCache: disableCache})
+		p := engine.DefaultParams()
+		p.SVDK = 0
+		if _, _, err := srv.Run(context.Background(), engine.Q4SVD, p); !errors.Is(err, engine.ErrBadParams) {
+			t.Fatalf("cache=%v: want ErrBadParams, got %v", !disableCache, err)
+		}
+		if got := eng.runs.Load(); got != 0 {
+			t.Fatalf("cache=%v: engine executed %d times for a rejected request", !disableCache, got)
+		}
+	}
+}
+
 func TestWorkerBudgetSplitAcrossSlots(t *testing.T) {
 	for _, tc := range []struct {
 		budget, slots, want int
@@ -188,9 +245,7 @@ func TestWorkerBudgetSplitAcrossSlots(t *testing.T) {
 func TestCacheEvictsFIFO(t *testing.T) {
 	c := NewCache(2)
 	mk := func(i int) (Key, *engine.Result) {
-		p := engine.DefaultParams()
-		p.Seed = uint64(i)
-		return Key{System: "s", Query: engine.Q1Regression, Params: p},
+		return Key{System: "s", Fingerprint: fmt.Sprintf("q1|fp%d", i)},
 			&engine.Result{Query: engine.Q1Regression}
 	}
 	k1, r1 := mk(1)
