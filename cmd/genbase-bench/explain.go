@@ -6,15 +6,17 @@ import (
 
 	"github.com/genbase/genbase/internal/core"
 	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/multinode"
 	"github.com/genbase/genbase/internal/plan"
 )
 
 // runExplain prints the compiled plan of every scenario for every
-// single-node configuration: operator → arguments → phase tag → the
-// engine's physical implementation. The output is deterministic (no data is
-// loaded, no timings taken); CI diffs it against the committed PLANS.txt so
-// any plan change — a new operator, a capability regression, a phase-tag
-// move — shows up in review.
+// configuration — the seven single-node engines and the five virtual-cluster
+// engines: operator → arguments → phase tag → the engine's physical
+// implementation. The output is deterministic (no data is loaded, no timings
+// taken); CI diffs it against the committed PLANS.txt so any plan change — a
+// new operator, a capability regression, a phase-tag move — shows up in
+// review.
 func runExplain() error {
 	// One scratch dir serves every engine: explain never loads data, the
 	// disk-backed engines just need a root to exist.
@@ -23,16 +25,38 @@ func runExplain() error {
 		return err
 	}
 	defer os.RemoveAll(dir)
+	var systems []plan.Describer
 	for _, cfg := range core.SingleNodeConfigs() {
 		eng := cfg.New(1, dir)
 		defer eng.Close()
-		phys, ok := eng.(plan.Physical)
+		phys, ok := eng.(plan.Describer)
 		if !ok {
 			return fmt.Errorf("%s registers no physical operators", cfg.Name)
 		}
+		systems = append(systems, phys)
+	}
+	fmt.Println("=== single-node configurations ===")
+	fmt.Println()
+	if err := explainSystems(systems); err != nil {
+		return err
+	}
+	// The multi-node family: same compiled IR, partitioned physical
+	// operators over the virtual cluster (node count does not change the
+	// plan, only shard placement).
+	var clustered []plan.Describer
+	for _, kind := range multinode.AllKinds() {
+		clustered = append(clustered, multinode.New(kind, 2))
+	}
+	fmt.Println("=== multi-node configurations (virtual cluster) ===")
+	fmt.Println()
+	return explainSystems(clustered)
+}
+
+func explainSystems(systems []plan.Describer) error {
+	for _, phys := range systems {
 		for _, q := range engine.AllScenarios() {
 			if !plan.Supports(phys.Capabilities(), q) {
-				fmt.Printf("%s plan for %s: unsupported (missing operators:", cfg.Name, q)
+				fmt.Printf("%s plan for %s: unsupported (missing operators:", phys.Name(), q)
 				need, _ := plan.OpsFor(q)
 				for _, k := range (need &^ phys.Capabilities()).Kinds() {
 					fmt.Printf(" %s", k)

@@ -41,7 +41,8 @@ func main() {
 	clients := flag.String("clients", "", "serve mode: comma-separated client counts (e.g. 1,2,4) driving concurrent queries through internal/serve; reports QPS and p50/p99 per engine")
 	duration := flag.Duration("duration", 1500*time.Millisecond, "serve mode: measurement window per (system, clients) run")
 	think := flag.Duration("think", 5*time.Millisecond, "serve mode: per-client idle time between queries (0 = tight closed loop)")
-	serveSystems := flag.String("serve-systems", "", "serve mode: comma-separated system names (default: every single-node configuration)")
+	serveSystems := flag.String("serve-systems", "", "serve mode: comma-separated system names (default: every single-node configuration, or every multi-node one when -nodes has a value > 1)")
+	serveNodes := flag.String("nodes", "", "serve mode: comma-separated node counts (e.g. 1,2,4); counts > 1 serve the virtual-cluster variants — answers are identical at any node count (DESIGN.md §13)")
 	serveCache := flag.Bool("serve-cache", false, "serve mode: enable the shared result cache (repeated queries answered without re-execution)")
 	serveSize := flag.String("serve-size", "small", "serve mode: dataset preset")
 	serveOut := flag.String("serve-out", "", "serve mode: write the results JSON (the BENCH_serve.json baseline) to this file")
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if *clients != "" {
-		counts, err := parseClientCounts(*clients)
+		counts, err := parseCounts("-clients", *clients)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,6 +88,13 @@ func main() {
 			for _, s := range strings.Split(*serveSystems, ",") {
 				sc.systems = append(sc.systems, strings.TrimSpace(s))
 			}
+		}
+		if *serveNodes != "" {
+			nodes, err := parseCounts("-nodes", *serveNodes)
+			if err != nil {
+				fatal(err)
+			}
+			sc.nodes = nodes
 		}
 		fmt.Fprintln(os.Stderr, "running serve-mode throughput sweep...")
 		if err := runServe(context.Background(), sc); err != nil {

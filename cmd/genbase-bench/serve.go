@@ -22,6 +22,7 @@ type serveConfig struct {
 	duration     time.Duration
 	think        time.Duration
 	systems      []string // empty = all single-node configurations
+	nodes        []int    // node counts; entries > 1 serve the virtual-cluster variant
 	cache        bool
 	size         datagen.Size
 	scale        float64
@@ -46,6 +47,7 @@ func serveMix(p engine.Params) []serve.Request {
 // serveRunJSON is one row of the BENCH_serve.json baseline.
 type serveRunJSON struct {
 	System       string  `json:"system"`
+	Nodes        int     `json:"nodes"`
 	Clients      int     `json:"clients"`
 	QPS          float64 `json:"qps"`
 	P50Ms        float64 `json:"p50_ms"`
@@ -78,6 +80,14 @@ func runServe(ctx context.Context, sc serveConfig) error {
 	params := engine.DefaultParams()
 	mix := serveMix(params)
 
+	// Any -nodes value — including a bare 1 — selects the virtual-cluster
+	// variants, so a scaling sweep's 1-node baseline runs the same
+	// distributed algorithms as the scaled rows.
+	multi := len(sc.nodes) > 0
+	nodeCounts := sc.nodes
+	if !multi {
+		nodeCounts = []int{1}
+	}
 	configs := core.SingleNodeConfigs()
 	if len(sc.systems) > 0 {
 		configs = configs[:0:0]
@@ -86,11 +96,27 @@ func runServe(ctx context.Context, sc serveConfig) error {
 			if err != nil {
 				return err
 			}
-			// Only single-node engines satisfy the concurrency contract; the
-			// multinode virtual-cluster engines (and the stateful coprocessor
-			// model) are serial-only and must not be served.
-			if !cfg.SingleNode {
-				return fmt.Errorf("%s is not a single-node configuration; serve mode requires engines safe for concurrent queries (DESIGN.md §11)", name)
+			if multi {
+				// A -nodes sweep needs a cluster variant that satisfies the
+				// concurrency contract (DESIGN.md §13). The Hadoop wrapper's
+				// MR scheduler keeps shared accounting, so it stays
+				// serial-only.
+				if cfg.NewCluster == nil {
+					return fmt.Errorf("%s has no multi-node variant for a -nodes sweep", name)
+				}
+				if name == "hadoop" {
+					return fmt.Errorf("multi-node hadoop is serial-only (shared MR-scheduler accounting); serve the single-node hadoop engine instead")
+				}
+			} else if !cfg.SingleNode {
+				return fmt.Errorf("%s is multi-node only; pass -nodes to serve its virtual-cluster variant", name)
+			}
+			configs = append(configs, cfg)
+		}
+	} else if multi {
+		configs = configs[:0:0]
+		for _, cfg := range core.MultiNodeConfigs() {
+			if cfg.Name == "hadoop" {
+				continue // serial-only wrapper, see above
 			}
 			configs = append(configs, cfg)
 		}
@@ -110,46 +136,59 @@ func runServe(ctx context.Context, sc serveConfig) error {
 	}
 
 	for _, cfg := range configs {
-		dir, err := os.MkdirTemp("", "genbase-serve-*")
-		if err != nil {
-			return err
-		}
-		eng := cfg.New(1, dir)
-		if err := eng.Load(ds); err != nil {
-			eng.Close()
-			os.RemoveAll(dir)
-			return fmt.Errorf("%s: load: %w", cfg.Name, err)
-		}
-
-		fmt.Printf("serve throughput — %s (%s, cache %s, think %v, window %v)\n",
-			cfg.Name, sc.size, onOff(sc.cache), sc.think, sc.duration)
-		fmt.Printf("%8s  %10s  %10s  %10s  %9s  %5s\n", "clients", "qps", "p50_ms", "p99_ms", "queries", "peak")
-		for _, n := range sc.clientCounts {
-			srv := serve.New(eng, serve.Options{MaxConcurrent: n, DisableCache: !sc.cache})
-			res, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
-				Clients: n, Duration: sc.duration, Think: sc.think,
-			})
-			if err != nil {
-				eng.Close()
-				os.RemoveAll(dir)
-				return fmt.Errorf("%s @ %d clients: %w", cfg.Name, n, err)
+		for _, nodes := range nodeCounts {
+			var eng engine.Engine
+			var dir string
+			if multi {
+				eng = cfg.NewCluster(nodes)
+			} else {
+				// Only the single-node disk-backed engines need scratch space.
+				var err error
+				if dir, err = os.MkdirTemp("", "genbase-serve-*"); err != nil {
+					return err
+				}
+				eng = cfg.New(1, dir)
 			}
-			fmt.Printf("%8d  %10.1f  %10.2f  %10.2f  %9d  %5d\n",
-				n, res.QPS, ms(res.P50), ms(res.P99), res.Queries, res.PeakInFlight)
-			report.Results = append(report.Results, serveRunJSON{
-				System:       res.System,
-				Clients:      n,
-				QPS:          round1(res.QPS),
-				P50Ms:        round2(ms(res.P50)),
-				P99Ms:        round2(ms(res.P99)),
-				Queries:      res.Queries,
-				CacheHits:    res.CacheHits,
-				PeakInFlight: res.PeakInFlight,
-			})
+			cleanup := func() {
+				eng.Close()
+				if dir != "" {
+					os.RemoveAll(dir)
+				}
+			}
+			if err := eng.Load(ds); err != nil {
+				cleanup()
+				return fmt.Errorf("%s: load: %w", cfg.Name, err)
+			}
+
+			fmt.Printf("serve throughput — %s @ %d node(s) (%s, cache %s, think %v, window %v)\n",
+				cfg.Name, nodes, sc.size, onOff(sc.cache), sc.think, sc.duration)
+			fmt.Printf("%8s  %10s  %10s  %10s  %9s  %5s\n", "clients", "qps", "p50_ms", "p99_ms", "queries", "peak")
+			for _, n := range sc.clientCounts {
+				srv := serve.New(eng, serve.Options{MaxConcurrent: n, DisableCache: !sc.cache})
+				res, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
+					Clients: n, Duration: sc.duration, Think: sc.think,
+				})
+				if err != nil {
+					cleanup()
+					return fmt.Errorf("%s @ %d nodes, %d clients: %w", cfg.Name, nodes, n, err)
+				}
+				fmt.Printf("%8d  %10.1f  %10.2f  %10.2f  %9d  %5d\n",
+					n, res.QPS, ms(res.P50), ms(res.P99), res.Queries, res.PeakInFlight)
+				report.Results = append(report.Results, serveRunJSON{
+					System:       res.System,
+					Nodes:        nodes,
+					Clients:      n,
+					QPS:          round1(res.QPS),
+					P50Ms:        round2(ms(res.P50)),
+					P99Ms:        round2(ms(res.P99)),
+					Queries:      res.Queries,
+					CacheHits:    res.CacheHits,
+					PeakInFlight: res.PeakInFlight,
+				})
+			}
+			fmt.Println()
+			cleanup()
 		}
-		fmt.Println()
-		eng.Close()
-		os.RemoveAll(dir)
 	}
 
 	if sc.outPath != "" {
@@ -180,13 +219,14 @@ func onOff(b bool) string {
 	return "off"
 }
 
-// parseClientCounts parses the -clients flag ("4" or "1,2,4").
-func parseClientCounts(s string) ([]int, error) {
+// parseCounts parses a comma-separated positive-count flag value ("4" or
+// "1,2,4"); flag names the option in errors (-clients, -nodes).
+func parseCounts(flag, s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad -clients count %q", f)
+			return nil, fmt.Errorf("bad %s count %q", flag, f)
 		}
 		out = append(out, v)
 	}

@@ -19,7 +19,7 @@ func TestEveryScenarioSupportedBySomeEngine(t *testing.T) {
 	for _, cfg := range core.SingleNodeConfigs() {
 		eng := cfg.New(1, t.TempDir())
 		defer eng.Close()
-		phys, ok := eng.(plan.Physical)
+		phys, ok := eng.(plan.Describer)
 		if !ok {
 			t.Fatalf("%s does not register physical operators", cfg.Name)
 		}

@@ -6,6 +6,18 @@
 // (each node's kernel pinned to one worker so virtual-time calibration is
 // unchanged); communication and synchronization are charged to the cluster's
 // virtual clocks.
+//
+// # Shards versus nodes
+//
+// A DistMatrix is partitioned into numeric shards — contiguous row blocks
+// whose count is fixed by the data layout, not by the cluster size — and each
+// shard is placed on an owner node (contiguous groups, like SciDB chunks or a
+// block-cyclic layout's blocks). Every reduction computes one partial per
+// shard and combines partials in shard order on the coordinator, so the
+// floating-point result is a pure function of the shard partition: adding or
+// removing nodes moves shards between clocks but cannot change a single bit
+// of any answer (DESIGN.md §13). Node count only shapes the virtual timing —
+// per-node compute shrinks as shards spread out, communication does not.
 package distlinalg
 
 import (
@@ -16,40 +28,121 @@ import (
 	"github.com/genbase/genbase/internal/linalg"
 )
 
-// DistMatrix is a dense matrix split into contiguous row blocks, one per
-// node.
+// DefaultNumericShards is the default shard count: the paper's largest
+// cluster (4 nodes), so the numerics at any node count coincide exactly with
+// what the pre-plan per-node partitioning produced on the 4-node
+// configuration. Scaling sweeps beyond 4 nodes raise the shard count
+// explicitly (and accept the different — still deterministic — partition).
+const DefaultNumericShards = 4
+
+// ShardOwners places shards contiguous-first onto nodes: the same split rule
+// cluster.Partition applies to rows, so at shards == nodes every shard sits
+// on its own node. Extra nodes beyond the shard count stay idle — the
+// chunk-limited parallelism real fixed-chunk stores exhibit.
+func ShardOwners(shards, nodes int) []int {
+	if nodes < 1 {
+		nodes = 1
+	}
+	owners := make([]int, shards)
+	per := shards / nodes
+	rem := shards % nodes
+	s := 0
+	for n := 0; n < nodes && s < shards; n++ {
+		take := per
+		if n < rem {
+			take++
+		}
+		for k := 0; k < take; k++ {
+			owners[s] = n
+			s++
+		}
+	}
+	return owners
+}
+
+// SplitIDsByBlock partitions ascending global row ids by the shard
+// boundaries: out[s] holds the ids in [starts[s], starts[s+1]). It is the
+// shard-aware predicate pushdown helper — a selection over replicated
+// metadata splits into per-shard id lists that each owner node pivots
+// locally, instead of gathering rows to the coordinator.
+func SplitIDsByBlock(starts []int, ids []int64) [][]int64 {
+	shards := len(starts) - 1
+	out := make([][]int64, shards)
+	s := 0
+	lo := 0
+	for i, id := range ids {
+		for s < shards-1 && id >= int64(starts[s+1]) {
+			out[s] = ids[lo:i:i]
+			lo = i
+			s++
+		}
+	}
+	out[s] = ids[lo:]
+	return out
+}
+
+// DistMatrix is a dense matrix split into contiguous row blocks (numeric
+// shards), each placed on an owner node.
 type DistMatrix struct {
 	C      *cluster.Cluster
-	Parts  []*linalg.Matrix // Parts[i] lives on node i (may have 0 rows)
-	Starts []int            // row offsets; Parts[i] covers [Starts[i], Starts[i+1])
+	Parts  []*linalg.Matrix // Parts[s] is shard s (may have 0 rows)
+	Starts []int            // row offsets; Parts[s] covers [Starts[s], Starts[s+1])
+	Owners []int            // Owners[s] is the node holding shard s
 	Cols   int
 }
 
-// Distribute scatters m from the coordinator (node 0) into row blocks,
+// Distribute scatters m from the coordinator (node 0) into
+// DefaultNumericShards row blocks placed contiguously over the nodes,
 // charging the scatter communication.
 func Distribute(c *cluster.Cluster, m *linalg.Matrix) *DistMatrix {
-	starts := c.Partition(m.Rows)
-	d := &DistMatrix{C: c, Starts: starts, Cols: m.Cols}
-	for i := 0; i < c.Nodes(); i++ {
-		rows := starts[i+1] - starts[i]
+	starts := partitionRows(m.Rows, DefaultNumericShards)
+	d := &DistMatrix{C: c, Starts: starts, Cols: m.Cols,
+		Owners: ShardOwners(len(starts)-1, c.Nodes())}
+	for s := 0; s+1 < len(starts); s++ {
+		rows := starts[s+1] - starts[s]
 		part := linalg.NewMatrix(rows, m.Cols)
 		for r := 0; r < rows; r++ {
-			copy(part.Row(r), m.Row(starts[i]+r))
+			copy(part.Row(r), m.Row(starts[s]+r))
 		}
 		d.Parts = append(d.Parts, part)
-		if i != 0 {
-			c.Send(0, i, int64(rows)*int64(m.Cols)*8)
+		if o := d.Owners[s]; o != 0 {
+			c.Send(0, o, int64(rows)*int64(m.Cols)*8)
 		}
 	}
 	c.Barrier()
 	return d
 }
 
-// FromParts wraps already-partitioned blocks (data that was loaded
+// partitionRows splits n rows into the given number of contiguous blocks
+// (cluster.Partition's rule, independent of any cluster).
+func partitionRows(n, blocks int) []int {
+	if blocks < 1 {
+		blocks = 1
+	}
+	starts := make([]int, blocks+1)
+	per := n / blocks
+	rem := n % blocks
+	pos := 0
+	for i := 0; i < blocks; i++ {
+		starts[i] = pos
+		pos += per
+		if i < rem {
+			pos++
+		}
+	}
+	starts[blocks] = n
+	return starts
+}
+
+// PartitionRows exposes the shard split rule (Load-time partitioning in the
+// multi-node engines uses it so their shard boundaries match FromParts').
+func PartitionRows(n, shards int) []int { return partitionRows(n, shards) }
+
+// FromParts wraps already-partitioned shards (data that was loaded
 // partitioned, so no scatter cost — pbdR's "we evenly partitioned the data
-// between nodes").
+// between nodes"), placing them contiguously over the cluster's nodes.
 func FromParts(c *cluster.Cluster, parts []*linalg.Matrix) *DistMatrix {
-	d := &DistMatrix{C: c, Cols: 0}
+	d := &DistMatrix{C: c, Cols: 0, Owners: ShardOwners(len(parts), c.Nodes())}
 	starts := make([]int, len(parts)+1)
 	for i, p := range parts {
 		starts[i+1] = starts[i] + p.Rows
@@ -65,37 +158,59 @@ func FromParts(c *cluster.Cluster, parts []*linalg.Matrix) *DistMatrix {
 // Rows is the global row count.
 func (d *DistMatrix) Rows() int { return d.Starts[len(d.Starts)-1] }
 
-// Gather collects all blocks on the coordinator and returns the full matrix
-// (used when an algorithm does not distribute, e.g. biclustering).
+// execParts runs fn once per shard, charging each node's clock with the
+// measured duration of its shards (run sequentially per node, concurrently
+// across nodes when the host has spare cores). Callers must make the shard
+// closures independent — they write disjoint per-shard slots — which also
+// keeps results identical on the serial and concurrent paths.
+func (d *DistMatrix) execParts(fn func(s int) error) error {
+	byOwner := make([][]int, d.C.Nodes())
+	for s, o := range d.Owners {
+		byOwner[o] = append(byOwner[o], s)
+	}
+	return d.C.ExecAll(func(n int) error {
+		for _, s := range byOwner[n] {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Gather collects all shards on the coordinator and returns the full matrix
+// (used when an algorithm does not distribute, e.g. biclustering). Row
+// concatenation is shard-order, so the gathered matrix is identical at any
+// node count.
 func (d *DistMatrix) Gather() *linalg.Matrix {
 	m := linalg.NewMatrix(d.Rows(), d.Cols)
-	for i, part := range d.Parts {
-		if i != 0 {
-			d.C.Send(i, 0, int64(part.Rows)*int64(part.Cols)*8)
+	for s, part := range d.Parts {
+		if o := d.Owners[s]; o != 0 {
+			d.C.Send(o, 0, int64(part.Rows)*int64(part.Cols)*8)
 		}
 		for r := 0; r < part.Rows; r++ {
-			copy(m.Row(d.Starts[i]+r), part.Row(r))
+			copy(m.Row(d.Starts[s]+r), part.Row(r))
 		}
 	}
 	d.C.Barrier()
 	return m
 }
 
-// ColumnSums computes per-column sums with local partials (one per node,
-// computed concurrently when the host has spare cores) and a reduction to
-// the coordinator.
+// ColumnSums computes per-column sums with one partial per shard (computed
+// concurrently across owner nodes when the host has spare cores) and a
+// shard-order reduction on the coordinator.
 func (d *DistMatrix) ColumnSums() ([]float64, error) {
 	partials := make([][]float64, len(d.Parts))
-	if err := d.C.ExecAll(func(i int) error {
-		part := d.Parts[i]
-		s := make([]float64, d.Cols)
+	if err := d.execParts(func(s int) error {
+		part := d.Parts[s]
+		sums := make([]float64, d.Cols)
 		for r := 0; r < part.Rows; r++ {
 			row := part.Row(r)
 			for j, v := range row {
-				s[j] += v
+				sums[j] += v
 			}
 		}
-		partials[i] = s
+		partials[s] = sums
 		return nil
 	}); err != nil {
 		return nil, err
@@ -118,7 +233,7 @@ func (d *DistMatrix) ColumnSums() ([]float64, error) {
 	return total, nil
 }
 
-// Gram computes XᵀX with per-node partial Gram matrices reduced on the
+// Gram computes XᵀX with per-shard partial Gram matrices reduced on the
 // coordinator — ScaLAPACK's pdsyrk pattern.
 func (d *DistMatrix) Gram() (*linalg.Matrix, error) {
 	return d.gramCentered(nil)
@@ -130,14 +245,15 @@ func (d *DistMatrix) CenteredGram(means []float64) (*linalg.Matrix, error) {
 }
 
 func (d *DistMatrix) gramCentered(means []float64) (*linalg.Matrix, error) {
-	// Per-node partial Grams run concurrently across nodes (the host-level
-	// parallelism the shared pool provides); each node's kernel is pinned to
-	// one worker so its measured duration still models a single virtual node.
+	// Per-shard partial Grams run concurrently across owner nodes (the
+	// host-level parallelism the shared pool provides); each shard's kernel is
+	// pinned to one worker so its measured duration still models a single
+	// virtual node's core.
 	partials := make([]*linalg.Matrix, len(d.Parts))
-	if err := d.C.ExecAll(func(i int) error {
-		part := d.Parts[i]
+	if err := d.execParts(func(s int) error {
+		part := d.Parts[s]
 		if means == nil {
-			partials[i] = linalg.MulATAP(part, 1)
+			partials[s] = linalg.MulATAP(part, 1)
 			return nil
 		}
 		centered := linalg.NewMatrix(part.Rows, part.Cols)
@@ -147,7 +263,7 @@ func (d *DistMatrix) gramCentered(means []float64) (*linalg.Matrix, error) {
 				dst[j] = v - means[j]
 			}
 		}
-		partials[i] = linalg.MulATAP(centered, 1)
+		partials[s] = linalg.MulATAP(centered, 1)
 		return nil
 	}); err != nil {
 		return nil, err
@@ -192,19 +308,19 @@ func (d *DistMatrix) Covariance() (*linalg.Matrix, error) {
 	return cov, nil
 }
 
-// XtY computes Xᵀy with distributed partials; y is indexed by global row.
+// XtY computes Xᵀy with per-shard partials; y is indexed by global row.
 func (d *DistMatrix) XtY(y []float64) ([]float64, error) {
 	if len(y) != d.Rows() {
 		return nil, errors.New("distlinalg: XtY length mismatch")
 	}
 	partials := make([][]float64, len(d.Parts))
-	if err := d.C.ExecAll(func(i int) error {
-		part := d.Parts[i]
-		s := make([]float64, d.Cols)
+	if err := d.execParts(func(s int) error {
+		part := d.Parts[s]
+		sums := make([]float64, d.Cols)
 		for r := 0; r < part.Rows; r++ {
-			linalg.Axpy(y[d.Starts[i]+r], part.Row(r), s)
+			linalg.Axpy(y[d.Starts[s]+r], part.Row(r), sums)
 		}
-		partials[i] = s
+		partials[s] = sums
 		return nil
 	}); err != nil {
 		return nil, err
@@ -254,17 +370,17 @@ func (d *DistMatrix) LeastSquares(y []float64) (*linalg.LeastSquaresResult, erro
 	d.C.Broadcast(0, int64(len(beta))*8)
 	d.C.Barrier()
 
-	// Distributed residual pass.
+	// Distributed residual pass, one partial per shard, shard-order sum.
 	ssParts := make([]float64, len(d.Parts))
-	if err := d.C.ExecAll(func(i int) error {
-		part := d.Parts[i]
+	if err := d.execParts(func(s int) error {
+		part := d.Parts[s]
 		ss := 0.0
 		for r := 0; r < part.Rows; r++ {
 			pred := linalg.Dot(part.Row(r), beta)
-			diff := y[d.Starts[i]+r] - pred
+			diff := y[d.Starts[s]+r] - pred
 			ss += diff * diff
 		}
-		ssParts[i] = ss
+		ssParts[s] = ss
 		return nil
 	}); err != nil {
 		return nil, err
@@ -288,8 +404,8 @@ func (d *DistMatrix) LeastSquares(y []float64) (*linalg.LeastSquaresResult, erro
 }
 
 // ATAOperator is the distributed Lanczos operator: each iteration does local
-// y = A_i·x and zᵢ = A_iᵀ·y, then an all-reduce of the z partials — the
-// communication pattern that limits multi-node SVD scaling (Figure 3c).
+// y = A_s·x and z_s = A_sᵀ·y per shard, then an all-reduce of the z partials
+// — the communication pattern that limits multi-node SVD scaling (Figure 3c).
 type ATAOperator struct {
 	D   *DistMatrix
 	Err error
@@ -306,15 +422,15 @@ func (o *ATAOperator) Apply(x []float64) []float64 {
 		return z
 	}
 	partials := make([][]float64, len(d.Parts))
-	if err := d.C.ExecAll(func(i int) error {
-		part := d.Parts[i]
+	if err := d.execParts(func(s int) error {
+		part := d.Parts[s]
 		local := make([]float64, d.Cols)
 		for r := 0; r < part.Rows; r++ {
 			row := part.Row(r)
 			yi := linalg.Dot(row, x)
 			linalg.Axpy(yi, row, local)
 		}
-		partials[i] = local
+		partials[s] = local
 		return nil
 	}); err != nil {
 		o.Err = err

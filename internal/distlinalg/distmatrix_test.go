@@ -218,3 +218,100 @@ func TestGramVirtualTimeScales(t *testing.T) {
 		t.Fatalf("scaling suspiciously ideal: %v", times)
 	}
 }
+
+func TestShardOwnersContiguousAndComplete(t *testing.T) {
+	cases := []struct{ shards, nodes int }{
+		{4, 1}, {4, 2}, {4, 3}, {4, 4}, {4, 8}, {7, 3}, {48, 48}, {2, 5},
+	}
+	for _, c := range cases {
+		owners := ShardOwners(c.shards, c.nodes)
+		if len(owners) != c.shards {
+			t.Fatalf("%v: %d owners", c, len(owners))
+		}
+		for i := 1; i < len(owners); i++ {
+			if owners[i] < owners[i-1] {
+				t.Fatalf("%v: owners not monotonic: %v", c, owners)
+			}
+		}
+		for _, o := range owners {
+			if o < 0 || o >= c.nodes {
+				t.Fatalf("%v: owner %d out of range", c, o)
+			}
+		}
+		if c.shards >= c.nodes && len(owners) > 0 && owners[len(owners)-1] != c.nodes-1 {
+			t.Fatalf("%v: last node idle with enough shards: %v", c, owners)
+		}
+	}
+}
+
+func TestSplitIDsByBlock(t *testing.T) {
+	starts := []int{0, 3, 5, 5, 9}
+	ids := []int64{0, 2, 3, 6, 8}
+	got := SplitIDsByBlock(starts, ids)
+	want := [][]int64{{0, 2}, {3}, {}, {6, 8}}
+	if len(got) != len(want) {
+		t.Fatalf("%d blocks", len(got))
+	}
+	for s := range want {
+		if len(got[s]) != len(want[s]) {
+			t.Fatalf("block %d: %v want %v", s, got[s], want[s])
+		}
+		for i := range want[s] {
+			if got[s][i] != want[s][i] {
+				t.Fatalf("block %d: %v want %v", s, got[s], want[s])
+			}
+		}
+	}
+}
+
+// The shard partition — not the node count — determines the numerics: the
+// same matrix reduced on 1, 2, 3 and 8 nodes yields bitwise-identical Gram,
+// covariance, column-sum and least-squares results, because per-shard
+// partials combine in shard order regardless of placement.
+func TestReductionsInvariantToNodeCount(t *testing.T) {
+	m := randMatrix(57, 9, 13)
+	y := randMatrix(57, 1, 14).Col(0)
+	type snap struct {
+		gram, cov *linalg.Matrix
+		sums      []float64
+		beta      []float64
+	}
+	var ref snap
+	for _, nodes := range []int{1, 2, 3, 8} {
+		c := cluster.New(cluster.DefaultConfig(nodes))
+		d := Distribute(c, m)
+		gram, err := d.Gram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov, err := d.Covariance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums, err := d.ColumnSums()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := d.LeastSquares(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nodes == 1 {
+			ref = snap{gram, cov, sums, ls.Coefficients}
+			continue
+		}
+		if linalg.MaxAbsDiff(gram, ref.gram) != 0 || linalg.MaxAbsDiff(cov, ref.cov) != 0 {
+			t.Fatalf("%d nodes: matrix reduction diverges bitwise", nodes)
+		}
+		for j := range sums {
+			if sums[j] != ref.sums[j] {
+				t.Fatalf("%d nodes: column sum %d diverges bitwise", nodes, j)
+			}
+		}
+		for j := range ls.Coefficients {
+			if ls.Coefficients[j] != ref.beta[j] {
+				t.Fatalf("%d nodes: coefficient %d diverges bitwise", nodes, j)
+			}
+		}
+	}
+}

@@ -120,6 +120,22 @@ func DefaultParams() Params {
 // both reject them up front.
 var ErrBadParams = errors.New("engine: invalid query parameters")
 
+// Admission bounds: a request may be arbitrarily wrong but not arbitrarily
+// expensive. The serving tier runs Validate at the door, so the knobs that
+// scale kernel work directly (rather than through the data) carry generous
+// upper limits — far above anything the benchmark uses (the paper's largest
+// k is 50, its bicluster budget 5) yet small enough that no single request
+// can pin a server. Fuzzed admission (FuzzParamsPlan) relies on these: any
+// validated parameterization must execute without panicking or hanging.
+const (
+	// MaxSVDK bounds Q4's requested singular values (the kernel additionally
+	// clamps k to the matrix dimensions).
+	MaxSVDK = 4096
+	// MaxBiclusterBudget bounds Q3's extraction loop, which re-runs the
+	// Cheng–Church search once per requested bicluster.
+	MaxBiclusterBudget = 1024
+)
+
 // Validate checks the parameters a query actually uses. Fields irrelevant to
 // q are ignored — they do not affect the plan, the answer, or the plan
 // fingerprint. It is called at plan-compile time and again at serve
@@ -137,12 +153,12 @@ func (p Params) Validate(q QueryID) error {
 			return fmt.Errorf("%w: CovarianceTopFrac %v outside (0,1]", ErrBadParams, p.CovarianceTopFrac)
 		}
 	case Q3Biclustering:
-		if p.MaxBiclusters < 1 {
-			return fmt.Errorf("%w: MaxBiclusters %d < 1", ErrBadParams, p.MaxBiclusters)
+		if p.MaxBiclusters < 1 || p.MaxBiclusters > MaxBiclusterBudget {
+			return fmt.Errorf("%w: MaxBiclusters %d outside [1,%d]", ErrBadParams, p.MaxBiclusters, MaxBiclusterBudget)
 		}
 	case Q4SVD:
-		if p.SVDK <= 0 {
-			return fmt.Errorf("%w: SVDK %d <= 0", ErrBadParams, p.SVDK)
+		if p.SVDK <= 0 || p.SVDK > MaxSVDK {
+			return fmt.Errorf("%w: SVDK %d outside [1,%d]", ErrBadParams, p.SVDK, MaxSVDK)
 		}
 	case Q5Statistics:
 		if !(p.SampleFrac > 0 && p.SampleFrac < 1) {
@@ -200,14 +216,18 @@ type Result struct {
 // paper's separation of load from query time).
 //
 // Concurrency contract (DESIGN.md §11): Load and Close are single-goroutine
-// and must not overlap Run. Once Load has returned, the single-node engines
-// (rowstore, colstore, arraydb, rengine, mapreduce) accept concurrent Run
-// calls: loaded state is read-only during queries, per-query scratch comes
-// from the goroutine-safe linalg arena or query-local allocations, and the
-// storage buffer pool arbitrates page access under its own lock. Answers are
-// bitwise identical to a serial run. The multinode virtual-cluster engines
-// are excluded — their simulated clock is shared mutable state — and remain
-// serial-only.
+// and must not overlap Run. Once Load has returned, the engines accept
+// concurrent Run calls: loaded state is read-only during queries, per-query
+// scratch comes from the goroutine-safe linalg arena or query-local
+// allocations, and the storage buffer pool arbitrates page access under its
+// own lock. The multinode virtual-cluster engines joined the contract with
+// the distributed plan layer (DESIGN.md §13): each Run executes on its own
+// fresh virtual cluster, so the simulated clocks are query-local state.
+// Answers are bitwise identical to a serial run. (Concurrent queries can
+// time-share host cores and so perturb each other's measured — and therefore
+// virtual — durations; answers are unaffected.) The one remaining exception
+// is the multi-node Hadoop wrapper, whose MR scheduler keeps shared
+// accounting across jobs: it is serial-only and must not be served.
 type Engine interface {
 	Name() string
 	Load(ds *datagen.Dataset) error

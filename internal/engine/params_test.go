@@ -27,6 +27,8 @@ func TestParamsValidate(t *testing.T) {
 		{"svdk zero", Q4SVD, func(p *Params) { p.SVDK = 0 }, false},
 		{"svdk negative", Q4SVD, func(p *Params) { p.SVDK = -1 }, false},
 		{"svdk one ok", Q4SVD, func(p *Params) { p.SVDK = 1 }, true},
+		{"svdk at bound ok", Q4SVD, func(p *Params) { p.SVDK = MaxSVDK }, true},
+		{"svdk above bound", Q4SVD, func(p *Params) { p.SVDK = MaxSVDK + 1 }, false},
 
 		{"topfrac zero", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = 0 }, false},
 		{"topfrac negative", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = -0.1 }, false},
@@ -36,6 +38,8 @@ func TestParamsValidate(t *testing.T) {
 		{"maxbiclusters zero", Q3Biclustering, func(p *Params) { p.MaxBiclusters = 0 }, false},
 		{"maxbiclusters negative", Q3Biclustering, func(p *Params) { p.MaxBiclusters = -2 }, false},
 		{"maxbiclusters one ok", Q3Biclustering, func(p *Params) { p.MaxBiclusters = 1 }, true},
+		{"maxbiclusters at bound ok", Q3Biclustering, func(p *Params) { p.MaxBiclusters = MaxBiclusterBudget }, true},
+		{"maxbiclusters above bound", Q3Biclustering, func(p *Params) { p.MaxBiclusters = MaxBiclusterBudget + 1 }, false},
 
 		{"topfrac NaN", Q2Covariance, func(p *Params) { p.CovarianceTopFrac = math.NaN() }, false},
 

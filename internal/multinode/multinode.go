@@ -1,16 +1,31 @@
 // Package multinode implements the paper's multi-node configurations
 // (§4.2, Figures 3–4): pbdR, column store + pbdR, column store + UDFs,
 // SciDB, SciDB + Xeon Phi, and Hadoop, each running over the virtual
-// cluster. Data is partitioned by patient (row blocks) at load time; data
-// management runs locally per node; analytics run through the distributed
-// linear algebra layer (ScaLAPACK analog) or, where a configuration lacks
-// one, by gathering to the coordinator. Reported timings are virtual
-// makespans (see internal/cluster).
+// cluster. Data is partitioned by patient into fixed numeric shards (row
+// blocks) at load time; each query places the shards onto that run's virtual
+// nodes, runs data management shard-local, and runs analytics through the
+// distributed linear algebra layer (ScaLAPACK analog) or, where a
+// configuration lacks one, by gathering to the coordinator. Reported timings
+// are virtual makespans (see internal/cluster).
+//
+// Since the plan layer's sixth family landed here, the engines contain no
+// query code: they register partitioned physical operators (plan.Physical
+// over distlinalg.DistMatrix shards) and the generic executor in
+// internal/plan drives every query — including planner-only scenarios like
+// Q6 — from the same compiled IR the single-node engines execute.
+//
+// Because the shard partition is fixed (distlinalg.DefaultNumericShards)
+// and every reduction combines per-shard partials in shard order, answers
+// are bitwise identical at any node count; node count only moves shards
+// between virtual clocks (DESIGN.md §13). Each query runs on its own
+// virtual cluster, so the engines satisfy the engine.Engine concurrency
+// contract and can be served concurrently through internal/serve.
 package multinode
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/genbase/genbase/internal/cluster"
@@ -19,6 +34,7 @@ import (
 	"github.com/genbase/genbase/internal/distlinalg"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/plan"
 	"github.com/genbase/genbase/internal/xeonphi"
 )
 
@@ -51,17 +67,23 @@ func (k Kind) String() string {
 	}
 }
 
-// Engine is a multi-node system under test.
-type Engine struct {
-	kind Kind
-	c    *cluster.Cluster
-	dev  *xeonphi.Device // SciDBPhi only
+// AllKinds lists the five virtual-cluster configurations.
+func AllKinds() []Kind { return []Kind{PBDR, ColstorePBDR, ColstoreUDF, SciDB, SciDBPhi} }
 
-	// Row-partitioned expression data: node i owns patients
-	// [starts[i], starts[i+1]).
+// Engine is a multi-node system under test. Loaded state is read-only after
+// Load; every Run executes on its own virtual cluster, so concurrent queries
+// are safe (DESIGN.md §11, §13).
+type Engine struct {
+	kind   Kind
+	nodes  int
+	shards int             // numeric shard count (fixed per engine at Load)
+	dev    *xeonphi.Device // SciDBPhi only (stateless rate model, shareable)
+
+	// Row-partitioned expression data: shard s owns patients
+	// [starts[s], starts[s+1]).
 	starts []int
-	blocks []*linalg.Matrix  // dense blocks (pbdr, scidb kinds)
-	cols   []*colstore.Table // per-node micro columns (colstore kinds)
+	blocks []*linalg.Matrix  // dense shard blocks (pbdr, scidb kinds)
+	cols   []*colstore.Table // per-shard micro columns (colstore kinds)
 
 	// Replicated small metadata (each node has a copy, as pbdR does).
 	age, gender, disease []int64
@@ -70,46 +92,80 @@ type Engine struct {
 	goArr                []uint8
 
 	numPats, numGenes, numTerms int
+
+	// lastC is the virtual cluster of the most recently completed Run, kept
+	// for the network-ablation benches and tests that inspect traffic stats.
+	lastC atomic.Pointer[cluster.Cluster]
 }
 
-// New creates a multi-node engine with the given cluster size.
+// New creates a multi-node engine with the given cluster size and the
+// default numeric shard count.
 func New(kind Kind, nodes int) *Engine {
-	e := &Engine{kind: kind, c: cluster.New(cluster.DefaultConfig(nodes))}
+	if nodes < 1 {
+		nodes = 1
+	}
+	e := &Engine{kind: kind, nodes: nodes, shards: distlinalg.DefaultNumericShards}
 	if kind == SciDBPhi {
 		e.dev = xeonphi.NewDevice5110P()
 	}
 	return e
 }
 
-// Cluster exposes the virtual cluster (for the network ablation bench).
-func (e *Engine) Cluster() *cluster.Cluster { return e.c }
+// SetShards overrides the numeric shard count (call before Load). The
+// default — distlinalg.DefaultNumericShards — keeps answers bitwise
+// identical at every node count and to the pre-plan 4-node partitioning;
+// the >4-node scaling extensions raise it to the node count so per-node
+// compute keeps shrinking, accepting a different (still deterministic)
+// shard partition.
+func (e *Engine) SetShards(s int) {
+	if s < 1 {
+		s = 1
+	}
+	e.shards = s
+}
+
+// Nodes returns the configured cluster size.
+func (e *Engine) Nodes() int { return e.nodes }
+
+// Cluster exposes the virtual cluster of the most recent completed Run (for
+// the network ablation bench and traffic assertions). Before any Run it
+// returns an idle cluster of the configured size.
+func (e *Engine) Cluster() *cluster.Cluster {
+	if c := e.lastC.Load(); c != nil {
+		return c
+	}
+	return cluster.New(cluster.DefaultConfig(e.nodes))
+}
 
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return e.kind.String() }
 
-// Supports implements engine.Engine: these configurations run the paper's
-// five queries (Hadoop, which does not, wraps the mapreduce engine
-// separately). The virtual-cluster engines predate the plan layer and keep
-// hardcoded query methods, so planner-only scenarios (Q6+) are not theirs
-// to claim — Supports must agree with Run's switch.
-func (e *Engine) Supports(q engine.QueryID) bool {
-	return q >= engine.Q1Regression && q <= engine.Q5Statistics
-}
+// Capabilities implements plan.Describer: every virtual-cluster
+// configuration registers the full operator vocabulary — distributed kernels
+// where the configuration has a distributed runtime, gather-to-coordinator
+// fallbacks where it does not — so Supports is derived, not hardcoded, and
+// planner-only scenarios run here with zero engine code.
+func (e *Engine) Capabilities() plan.OpSet { return plan.AllOps() }
+
+// Supports implements engine.Engine, derived from the registered physical
+// operators exactly like the single-node engines.
+func (e *Engine) Supports(q engine.QueryID) bool { return plan.Supports(e.Capabilities(), q) }
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
 
-// Load implements engine.Engine: partitions by patient, replicates metadata.
+// Load implements engine.Engine: partitions by patient into the numeric
+// shards, replicates metadata.
 func (e *Engine) Load(ds *datagen.Dataset) error {
 	p, g := ds.Dims.Patients, ds.Dims.Genes
-	e.starts = e.c.Partition(p)
+	e.starts = distlinalg.PartitionRows(p, e.shards)
 	e.numPats, e.numGenes, e.numTerms = p, g, ds.Dims.GOTerms
 
 	switch e.kind {
 	case ColstorePBDR, ColstoreUDF:
 		e.cols = nil
-		for n := 0; n < e.c.Nodes(); n++ {
-			lo, hi := e.starts[n], e.starts[n+1]
+		for s := 0; s < e.shards; s++ {
+			lo, hi := e.starts[s], e.starts[s+1]
 			rows := (hi - lo) * g
 			geneCol := make([]int64, 0, rows)
 			patCol := make([]int64, 0, rows)
@@ -122,14 +178,14 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 					valCol = append(valCol, v)
 				}
 			}
-			t := colstore.NewTable(fmt.Sprintf("micro-%d", n), rows).
+			t := colstore.NewTable(fmt.Sprintf("micro-%d", s), rows).
 				AddInt("geneid", geneCol).AddInt("patientid", patCol).AddFloat("value", valCol)
 			e.cols = append(e.cols, t)
 		}
 	default:
 		e.blocks = nil
-		for n := 0; n < e.c.Nodes(); n++ {
-			lo, hi := e.starts[n], e.starts[n+1]
+		for s := 0; s < e.shards; s++ {
+			lo, hi := e.starts[s], e.starts[s+1]
 			blk := linalg.NewMatrix(hi-lo, g)
 			for pi := lo; pi < hi; pi++ {
 				copy(blk.Row(pi-lo), ds.Expression.Row(pi))
@@ -157,48 +213,22 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 	return nil
 }
 
-// Run implements engine.Engine. Timing is the virtual makespan, split at the
-// DM/analytics boundary.
+// Run implements engine.Engine: compile the query into the shared operator
+// IR and execute it against this configuration's partitioned physical
+// operators on a fresh per-query virtual cluster. Timing is the virtual
+// makespan, split at the plan's phase boundaries.
 func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
 	if e.starts == nil {
 		return nil, fmt.Errorf("multinode: not loaded")
 	}
-	// The virtual-cluster engines keep hardcoded query methods (no plan
-	// compile), so apply the admission point the plan layer gives the
-	// single-node engines for free.
-	if err := p.Validate(q); err != nil {
-		return nil, err
-	}
-	e.c.Reset()
-	var ans any
-	var dmSeconds float64
-	var err error
-	switch q {
-	case engine.Q1Regression:
-		ans, dmSeconds, err = e.regression(ctx, p)
-	case engine.Q2Covariance:
-		ans, dmSeconds, err = e.covariance(ctx, p)
-	case engine.Q3Biclustering:
-		ans, dmSeconds, err = e.biclustering(ctx, p)
-	case engine.Q4SVD:
-		ans, dmSeconds, err = e.svd(ctx, p)
-	case engine.Q5Statistics:
-		ans, dmSeconds, err = e.statistics(ctx, p)
-	default:
-		return nil, engine.ErrUnsupported
-	}
+	pl, err := plan.Compile(q, p)
 	if err != nil {
 		return nil, err
 	}
-	total := e.c.MakespanSeconds()
-	return &engine.Result{
-		Query: q,
-		Timing: engine.Timing{
-			DataManagement: secToDur(dmSeconds),
-			Analytics:      secToDur(total - dmSeconds),
-		},
-		Answer: ans,
-	}, nil
+	x := e.newExec()
+	res, err := plan.Execute[*distlinalg.DistMatrix](ctx, x, pl)
+	e.lastC.Store(x.c)
+	return res, err
 }
 
 func secToDur(s float64) time.Duration {
@@ -208,15 +238,16 @@ func secToDur(s float64) time.Duration {
 	return time.Duration(s * 1e9)
 }
 
-// --- local data-management helpers (per node, executed under Exec) ---
+// --- shard-local data management (per shard, executed under the owner
+// node's virtual clock) ---
 
-// localPivot extracts the node's block restricted to the given global
-// patients (within this node's range) and gene columns.
-func (e *Engine) localPivot(node int, patients []int64, genes []int64) *linalg.Matrix {
-	lo := e.starts[node]
+// localPivot extracts the shard's block restricted to the given global
+// patients (within the shard's range) and gene columns.
+func (e *Engine) localPivot(shard int, patients []int64, genes []int64) *linalg.Matrix {
+	lo := e.starts[shard]
 	if e.cols != nil {
 		// Column-store path: selection vectors over compressed columns.
-		t := e.cols[node]
+		t := e.cols[shard]
 		patIdx := make(map[int64]int, len(patients))
 		for i, id := range patients {
 			patIdx[id] = i
@@ -243,7 +274,7 @@ func (e *Engine) localPivot(node int, patients []int64, genes []int64) *linalg.M
 		return m
 	}
 	// Dense-block path (pbdR data frames / SciDB subarray).
-	blk := e.blocks[node]
+	blk := e.blocks[shard]
 	m := linalg.NewMatrix(len(patients), len(genes))
 	for k, pid := range patients {
 		src := blk.Row(int(pid) - lo)
@@ -255,22 +286,12 @@ func (e *Engine) localPivot(node int, patients []int64, genes []int64) *linalg.M
 	return m
 }
 
-// localPatients returns the node's patients passing pred, ascending.
-func (e *Engine) localPatients(node int, pred func(pid int) bool) []int64 {
+// localPatients returns the shard's patients passing pred, ascending.
+func (e *Engine) localPatients(shard int, pred func(pid int) bool) []int64 {
 	var out []int64
-	for pid := e.starts[node]; pid < e.starts[node+1]; pid++ {
+	for pid := e.starts[shard]; pid < e.starts[shard+1]; pid++ {
 		if pred(pid) {
 			out = append(out, int64(pid))
-		}
-	}
-	return out
-}
-
-func (e *Engine) selectGenes(thr int64) []int64 {
-	var out []int64
-	for g, f := range e.function {
-		if f < thr {
-			out = append(out, int64(g))
 		}
 	}
 	return out
@@ -282,67 +303,6 @@ func allGeneIDs(n int) []int64 {
 		out[i] = int64(i)
 	}
 	return out
-}
-
-// buildDistMatrix runs the local DM on every node (filter + pivot,
-// concurrently across nodes when the host has spare cores) and wraps the
-// blocks as a distributed matrix. Returns the selected patients in global
-// order.
-func (e *Engine) buildDistMatrix(ctx context.Context, pred func(pid int) bool, genes []int64) (*distlinalg.DistMatrix, []int64, error) {
-	parts := make([]*linalg.Matrix, e.c.Nodes())
-	locals := make([][]int64, e.c.Nodes())
-	if err := e.c.ExecAll(func(n int) error {
-		// Checked per node so cancellation is honored between (or during
-		// concurrent) per-node pivots, as the old sequential loop did.
-		if err := engine.CheckCtx(ctx); err != nil {
-			return err
-		}
-		locals[n] = e.localPatients(n, pred)
-		parts[n] = e.localPivot(n, locals[n], genes)
-		return nil
-	}); err != nil {
-		return nil, nil, err
-	}
-	var allPatients []int64
-	for _, local := range locals {
-		allPatients = append(allPatients, local...)
-	}
-	e.c.Barrier()
-	return distlinalg.FromParts(e.c, parts), allPatients, nil
-}
-
-// redistribute charges SciDB's chunk→block-cyclic repartitioning before a
-// ScaLAPACK call: an all-to-all exchange of the matrix. This is the data
-// movement behind the paper's observation that "SciDB often has worse
-// performance on two nodes than on one".
-func (e *Engine) redistribute(d *distlinalg.DistMatrix) {
-	if e.c.Nodes() < 2 {
-		return
-	}
-	total := int64(d.Rows()) * int64(d.Cols) * 8
-	pairs := int64(e.c.Nodes()) * int64(e.c.Nodes())
-	e.c.AllToAll(total / pairs)
-}
-
-// execKernel runs an analytics kernel on a node, at host rate or on the
-// node's coprocessor (SciDBPhi). Both paths measure the (idempotent) kernel
-// with xeonphi.MeasureKernel so host/device speedup ratios are stable even
-// for sub-millisecond kernels.
-func (e *Engine) execKernel(node int, kind string, inBytes, outBytes int64, fn func() error) error {
-	if e.dev == nil {
-		measured, err := xeonphi.MeasureKernel(fn)
-		if err != nil {
-			return err
-		}
-		e.c.Charge(node, measured)
-		return nil
-	}
-	compute, transfer, err := e.dev.Offload(context.Background(), kind, inBytes, outBytes, fn)
-	if err != nil {
-		return err
-	}
-	e.c.Charge(node, compute+transfer)
-	return nil
 }
 
 type funcLookup struct{ fns []int64 }

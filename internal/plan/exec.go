@@ -16,19 +16,30 @@ import (
 // storage-native execution strategies — the column store serves selections
 // from compressed columns and pivots as zero-copy views, the row store runs
 // Volcano plans over heap pages, the array store gathers chunks, Hadoop runs
-// MR jobs — and their configuration-specific kernel boundaries (external-R
-// text glue, in-database UDFs, SQL simulation, coprocessor offload).
+// MR jobs, the virtual-cluster engines run per-shard pivots on their owner
+// nodes — and their configuration-specific kernel boundaries (external-R
+// text glue, in-database UDFs, SQL simulation, coprocessor offload,
+// gather-to-coordinator).
+//
+// M is the engine's matrix currency — the value a pivot produces and a
+// kernel consumes. Single-node engines implement Physical[*linalg.Matrix];
+// the multi-node engines implement Physical[*distlinalg.DistMatrix], whose
+// pivots materialize row-block shards on the owning virtual nodes and whose
+// kernels either run distributed (ScaLAPACK-style reductions) or gather to
+// the coordinator. The executor never inspects M: it only threads values
+// from producers to consumers, so one compiled plan drives both families.
 //
 // Kernel methods receive the query StopWatch because the transfer boundary
 // lives inside them: a "+R" kernel banks the text-COPY cost as transfer
 // before compute, the coprocessor offload books modeled device time, and the
 // in-database paths go straight to analytics. All other operators are timed
-// by the executor under the phase tag of their plan node.
+// by the executor under the phase tag of their plan node. Engines whose time
+// is simulated rather than measured additionally implement Timekeeper.
 //
 // Matrix ownership: a kernel consumes its input matrix (releasing it to the
 // arena when pooled); the executor releases the covariance matrix after the
 // generic TopKByAbs summary.
-type Physical interface {
+type Physical[M any] interface {
 	// Name is the configuration name used in errors (and by Explain).
 	Name() string
 	// Capabilities lists the operators this engine implements. Supports is
@@ -43,9 +54,9 @@ type Physical interface {
 	// id order; ids == nil means every row, otherwise the result aligns
 	// with ids.
 	ScanFloats(ctx context.Context, table, col string, ids []int64) ([]float64, error)
-	// Pivot restructures the microarray into a dense patient×gene matrix
-	// for the given selections (nil = all).
-	Pivot(ctx context.Context, patientIDs, geneIDs []int64) (*linalg.Matrix, error)
+	// Pivot restructures the microarray into the engine's dense patient×gene
+	// matrix currency for the given selections (nil = all).
+	Pivot(ctx context.Context, patientIDs, geneIDs []int64) (M, error)
 	// SampleMeans computes per-gene mean expression over the deterministic
 	// patient sample (Q5's fused filter+aggregate pivot), returning the
 	// means and the sample size.
@@ -56,13 +67,14 @@ type Physical interface {
 	GeneMeta(ctx context.Context) (engine.GeneMeta, error)
 
 	// RunRegression fits y on [1|x], returning coefficients and R².
-	RunRegression(ctx context.Context, sw *engine.StopWatch, x *linalg.Matrix, y []float64) ([]float64, float64, error)
-	// RunCovariance computes the gene-gene covariance of x.
-	RunCovariance(ctx context.Context, sw *engine.StopWatch, x *linalg.Matrix) (*linalg.Matrix, error)
+	RunRegression(ctx context.Context, sw *engine.StopWatch, x M, y []float64) ([]float64, float64, error)
+	// RunCovariance computes the gene-gene covariance of x. The result is
+	// always coordinator-local: the generic TopKByAbs summary consumes it.
+	RunCovariance(ctx context.Context, sw *engine.StopWatch, x M) (*linalg.Matrix, error)
 	// RunSVD computes x's top-k singular values.
-	RunSVD(ctx context.Context, sw *engine.StopWatch, x *linalg.Matrix, k int, seed uint64) ([]float64, error)
+	RunSVD(ctx context.Context, sw *engine.StopWatch, x M, k int, seed uint64) ([]float64, error)
 	// RunBicluster extracts up to maxB biclusters from x.
-	RunBicluster(ctx context.Context, sw *engine.StopWatch, x *linalg.Matrix, maxB int, seed uint64) ([]bicluster.Bicluster, error)
+	RunBicluster(ctx context.Context, sw *engine.StopWatch, x M, maxB int, seed uint64) ([]bicluster.Bicluster, error)
 	// RunStats performs the per-term enrichment test over the sampled
 	// means.
 	RunStats(ctx context.Context, sw *engine.StopWatch, means []float64, members [][]int32, sampled int) (*engine.StatsAnswer, error)
@@ -71,6 +83,37 @@ type Physical interface {
 	// kind for plan explains (e.g. "selection-vector scan over compressed
 	// columns").
 	PhysicalName(k OpKind) string
+}
+
+// Describer is the matrix-currency-agnostic subset of Physical that Explain
+// and the capability checks need: every Physical[M] satisfies it, so tools
+// can describe an engine without naming its M.
+type Describer interface {
+	Name() string
+	Capabilities() OpSet
+	PhysicalName(k OpKind) string
+}
+
+// Timekeeper is an optional extension implemented by engines whose reported
+// query time is a simulated makespan rather than the executor's wall-clock
+// StopWatch (the virtual-cluster engines). The executor mirrors its StopWatch
+// switches into the Timekeeper at the same node boundaries — MarkDM before a
+// data-management node, MarkDone before Emit — and kernels refine their own
+// phases internally, exactly as they do with the StopWatch. When an executed
+// engine implements Timekeeper, the Result carries QueryTiming() instead of
+// the wall-clock split.
+type Timekeeper interface {
+	// MarkDM attributes subsequent virtual-clock growth to data management.
+	MarkDM()
+	// MarkDone stops attribution (answer assembly is untimed, as with the
+	// StopWatch).
+	MarkDone()
+	// ExecLocal runs an executor-resident step (the generic TopKByAbs
+	// summary) on the coordinator's clock, so shared answer assembly has
+	// the same virtual cost it had when engines hand-coded it.
+	ExecLocal(fn func() error) error
+	// QueryTiming returns the accumulated virtual phase split.
+	QueryTiming() engine.Timing
 }
 
 // regOut carries a regression kernel's result between nodes.
@@ -89,10 +132,11 @@ type meansOut struct {
 // producing the same engine.Result the hardcoded query methods used to
 // build. The StopWatch phase switches happen at node boundaries per the
 // plan's phase tags; kernels refine their own phases internally.
-func Execute(ctx context.Context, ex Physical, pl *Plan) (*engine.Result, error) {
+func Execute[M any](ctx context.Context, ex Physical[M], pl *Plan) (*engine.Result, error) {
 	if !Supports(ex.Capabilities(), pl.Query) {
 		return nil, engine.ErrUnsupported
 	}
+	tk, _ := any(ex).(Timekeeper)
 	var sw engine.StopWatch
 	vals := make([]any, len(pl.Nodes))
 	var answer any
@@ -104,10 +148,16 @@ func Execute(ctx context.Context, ex Physical, pl *Plan) (*engine.Result, error)
 		}
 		if n.Kind == OpEmit {
 			sw.Stop()
+			if tk != nil {
+				tk.MarkDone()
+			}
 		} else if n.Phase == PhaseDM {
 			sw.StartDM()
+			if tk != nil {
+				tk.MarkDM()
+			}
 		}
-		v, err := executeNode(ctx, ex, &sw, pl, n, vals)
+		v, err := executeNode(ctx, ex, tk, &sw, n, vals)
 		// Kernels and the TopK summary take ownership of their matrix
 		// inputs and release them to the arena on every path, success or
 		// failure (transfer failures included — see TransferMatrixTimed);
@@ -116,6 +166,8 @@ func Execute(ctx context.Context, ex Physical, pl *Plan) (*engine.Result, error)
 			for _, idx := range n.Inputs {
 				if idx >= 0 {
 					if _, ok := vals[idx].(*linalg.Matrix); ok {
+						vals[idx] = nil
+					} else if _, ok := vals[idx].(M); ok {
 						vals[idx] = nil
 					}
 				}
@@ -131,7 +183,12 @@ func Execute(ctx context.Context, ex Physical, pl *Plan) (*engine.Result, error)
 		}
 	}
 	sw.Stop()
-	return &engine.Result{Query: pl.Query, Timing: sw.Timing(), Answer: answer}, nil
+	timing := sw.Timing()
+	if tk != nil {
+		tk.MarkDone()
+		timing = tk.QueryTiming()
+	}
+	return &engine.Result{Query: pl.Query, Timing: timing, Answer: answer}, nil
 }
 
 // consumesMatrixInputs reports whether a node's physical implementation
@@ -146,8 +203,9 @@ func consumesMatrixInputs(k OpKind) bool {
 
 // releaseLive returns any still-unconsumed pooled matrices to the arena on
 // an abandoned execution (error or cancellation between a pivot and its
-// kernel) — a no-op for storage views. Without this, every aborted query
-// would bypass the arena and force fresh allocations on the next pivot.
+// kernel) — a no-op for storage views and for distributed shard sets, which
+// are not pooled. Without this, every aborted query would bypass the arena
+// and force fresh allocations on the next pivot.
 func releaseLive(vals []any) {
 	for _, v := range vals {
 		if m, ok := v.(*linalg.Matrix); ok && m != nil {
@@ -156,7 +214,7 @@ func releaseLive(vals []any) {
 	}
 }
 
-func executeNode(ctx context.Context, ex Physical, sw *engine.StopWatch, pl *Plan, n *Node, vals []any) (any, error) {
+func executeNode[M any](ctx context.Context, ex Physical[M], tk Timekeeper, sw *engine.StopWatch, n *Node, vals []any) (any, error) {
 	in := func(slot int) any {
 		idx := n.Inputs[slot]
 		if idx < 0 {
@@ -208,20 +266,20 @@ func executeNode(ctx context.Context, ex Physical, sw *engine.StopWatch, pl *Pla
 		return ex.Pivot(ctx, ids(0), ids(1))
 
 	case OpKernelRegression:
-		coef, r2, err := ex.RunRegression(ctx, sw, in(0).(*linalg.Matrix), in(1).([]float64))
+		coef, r2, err := ex.RunRegression(ctx, sw, in(0).(M), in(1).([]float64))
 		if err != nil {
 			return nil, err
 		}
 		return regOut{coef, r2}, nil
 
 	case OpKernelCovariance:
-		return ex.RunCovariance(ctx, sw, in(0).(*linalg.Matrix))
+		return ex.RunCovariance(ctx, sw, in(0).(M))
 
 	case OpKernelSVD:
-		return ex.RunSVD(ctx, sw, in(0).(*linalg.Matrix), n.K, n.Seed)
+		return ex.RunSVD(ctx, sw, in(0).(M), n.K, n.Seed)
 
 	case OpKernelBicluster:
-		return ex.RunBicluster(ctx, sw, in(0).(*linalg.Matrix), n.MaxBiclusters, n.Seed)
+		return ex.RunBicluster(ctx, sw, in(0).(M), n.MaxBiclusters, n.Seed)
 
 	case OpKernelStats:
 		mo := in(0).(meansOut)
@@ -229,8 +287,24 @@ func executeNode(ctx context.Context, ex Physical, sw *engine.StopWatch, pl *Pla
 
 	case OpTopKByAbs:
 		cov := in(0).(*linalg.Matrix)
-		ans := engine.SummarizeCovariance(cov, n.TopFrac, in(1).(engine.GeneMeta), len(ids(2)))
+		var ans *engine.CovarianceAnswer
+		summarize := func() error {
+			ans = engine.SummarizeCovariance(cov, n.TopFrac, in(1).(engine.GeneMeta), len(ids(2)))
+			return nil
+		}
+		// The shared summary is executor code, but on a virtual cluster it
+		// still runs somewhere: charge the coordinator, as the hand-coded
+		// engines did.
+		var err error
+		if tk != nil {
+			err = tk.ExecLocal(summarize)
+		} else {
+			err = summarize()
+		}
 		linalg.PutMatrix(cov)
+		if err != nil {
+			return nil, err
+		}
 		return ans, nil
 
 	case OpEmit:
@@ -243,7 +317,7 @@ func executeNode(ctx context.Context, ex Physical, sw *engine.StopWatch, pl *Pla
 
 // emit assembles the engine-neutral answer struct. Input roles are
 // positional per AnswerKind (see Compile).
-func emit(ex Physical, n *Node, in func(int) any, ids func(int) []int64) (any, error) {
+func emit[M any](ex Physical[M], n *Node, in func(int) any, ids func(int) []int64) (any, error) {
 	switch n.Answer {
 	case AnswerRegression:
 		r := in(0).(regOut)
@@ -276,8 +350,10 @@ func emit(ex Physical, n *Node, in func(int) any, ids func(int) []int64) (any, e
 }
 
 // Explain renders the compiled plan with each operator's phase tag and the
-// engine's physical implementation — the genbase-bench -explain output.
-func Explain(pl *Plan, ex Physical) string {
+// engine's physical implementation — the genbase-bench -explain output. It
+// takes the currency-agnostic Describer so single-node and distributed
+// engines explain through the same call.
+func Explain(pl *Plan, ex Describer) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s plan for %s (fingerprint %s)\n", ex.Name(), pl.Query, pl.Fingerprint())
 	for i := range pl.Nodes {

@@ -1,0 +1,113 @@
+package plan_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/linalg"
+	"github.com/genbase/genbase/internal/plan"
+	"github.com/genbase/genbase/internal/rengine"
+)
+
+// fuzzEng lazily loads one tiny engine the executor fuzzing reuses; loaded
+// state is read-only during Run, so sharing it across fuzz iterations is
+// safe.
+var (
+	fuzzOnce sync.Once
+	fuzzEng  *rengine.Engine
+)
+
+func fuzzEngine(t interface{ Fatal(args ...any) }) *rengine.Engine {
+	fuzzOnce.Do(func() {
+		ds, err := datagen.Generate(datagen.Config{Size: datagen.Small, Scale: 0.2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzEng = rengine.New()
+		if err := fuzzEng.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return fuzzEng
+}
+
+// FuzzParamsPlan is the admission robustness contract: for an arbitrary
+// (query, Params) request, Params.Validate + plan.Compile either reject with
+// ErrBadParams/ErrUnsupported or produce a plan the generic executor runs to
+// completion — an answer or an ordinary error (row guards, rank-deficient
+// solves), never a panic and never unbounded work. The admission bounds in
+// engine.Params.Validate (MaxSVDK, MaxBiclusterBudget) exist exactly so the
+// second half holds: any validated parameterization is safe to execute.
+//
+// The seed corpus (testdata/fuzz/FuzzParamsPlan + the f.Add seeds below)
+// runs on every plain `go test`; `go test -fuzz FuzzParamsPlan
+// ./internal/plan` explores further.
+func FuzzParamsPlan(f *testing.F) {
+	type seed struct {
+		q              int
+		fnThr, disease int64
+		topFrac        float64
+		gender         byte
+		maxAge         int64
+		maxB, svdk     int
+		sampleFrac     float64
+		seedV          uint64
+		cohortThr      int64
+	}
+	d := engine.DefaultParams()
+	seeds := []seed{
+		{int(engine.Q1Regression), d.FunctionThreshold, d.DiseaseID, d.CovarianceTopFrac, d.Gender, d.MaxAge, d.MaxBiclusters, d.SVDK, d.SampleFrac, d.Seed, d.CohortFunctionThreshold},
+		{int(engine.Q2Covariance), d.FunctionThreshold, d.DiseaseID, d.CovarianceTopFrac, d.Gender, d.MaxAge, d.MaxBiclusters, d.SVDK, d.SampleFrac, d.Seed, d.CohortFunctionThreshold},
+		{int(engine.Q3Biclustering), d.FunctionThreshold, d.DiseaseID, d.CovarianceTopFrac, d.Gender, d.MaxAge, d.MaxBiclusters, d.SVDK, d.SampleFrac, d.Seed, d.CohortFunctionThreshold},
+		{int(engine.Q4SVD), d.FunctionThreshold, d.DiseaseID, d.CovarianceTopFrac, d.Gender, d.MaxAge, d.MaxBiclusters, d.SVDK, d.SampleFrac, d.Seed, d.CohortFunctionThreshold},
+		{int(engine.Q5Statistics), d.FunctionThreshold, d.DiseaseID, d.CovarianceTopFrac, d.Gender, d.MaxAge, d.MaxBiclusters, d.SVDK, d.SampleFrac, d.Seed, d.CohortFunctionThreshold},
+		{int(engine.Q6CohortRegression), d.FunctionThreshold, d.DiseaseID, d.CovarianceTopFrac, d.Gender, d.MaxAge, d.MaxBiclusters, d.SVDK, d.SampleFrac, d.Seed, d.CohortFunctionThreshold},
+		// Hostile corners: unknown query, zero/NaN/overflow-prone knobs,
+		// empty selections, oversized k.
+		{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		{42, -1, 1 << 40, math.Inf(1), 'X', -5, -3, 1 << 30, 1e-300, ^uint64(0), -9},
+		{int(engine.Q4SVD), d.FunctionThreshold, 0, 0, 0, 0, 0, engine.MaxSVDK, 0.5, 1, 0},
+		{int(engine.Q3Biclustering), 0, 0, 0.5, 'M', 1 << 30, engine.MaxBiclusterBudget, 1, 0.5, 7, 0},
+		{int(engine.Q5Statistics), 0, 0, 0, 0, 0, 1, 1, 0.999999, 1, 0},
+	}
+	for _, s := range seeds {
+		f.Add(s.q, s.fnThr, s.disease, s.topFrac, s.gender, s.maxAge, s.maxB, s.svdk, s.sampleFrac, s.seedV, s.cohortThr)
+	}
+	f.Fuzz(func(t *testing.T, q int, fnThr, disease int64, topFrac float64, gender byte, maxAge int64, maxB, svdk int, sampleFrac float64, seedV uint64, cohortThr int64) {
+		p := engine.Params{
+			FunctionThreshold:       fnThr,
+			DiseaseID:               disease,
+			CovarianceTopFrac:       topFrac,
+			Gender:                  gender,
+			MaxAge:                  maxAge,
+			MaxBiclusters:           maxB,
+			SVDK:                    svdk,
+			SampleFrac:              sampleFrac,
+			Seed:                    seedV,
+			CohortFunctionThreshold: cohortThr,
+		}
+		qid := engine.QueryID(q)
+		pl, err := plan.Compile(qid, p)
+		if err != nil {
+			if !errors.Is(err, engine.ErrBadParams) && !errors.Is(err, engine.ErrUnsupported) {
+				t.Fatalf("compile rejected %v with a non-admission error: %v", qid, err)
+			}
+			return
+		}
+		// A compiled plan must execute without panicking; data-dependent
+		// errors (empty selections, singular systems) are legitimate.
+		eng := fuzzEngine(t)
+		res, err := plan.Execute[*linalg.Matrix](context.Background(), eng, pl)
+		if err == nil && res.Answer == nil {
+			t.Fatalf("%v executed without error but produced no answer", qid)
+		}
+		if errors.Is(err, engine.ErrUnsupported) {
+			t.Fatalf("%v compiled but the executor called it unsupported", qid)
+		}
+	})
+}

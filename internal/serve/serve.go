@@ -22,8 +22,13 @@
 // door instead of inside a kernel.
 //
 // The engine must obey the engine.Engine concurrency contract: loaded state
-// read-only during Run, per-query scratch only. All single-node engines do;
-// the multinode virtual-cluster engines do not and must not be served.
+// read-only during Run, per-query scratch only. The single-node engines
+// have since the contract was written, and the multinode virtual-cluster
+// engines do since the distributed plan layer gave each query its own
+// virtual cluster (DESIGN.md §13) — so a cluster configuration serves
+// traffic exactly like a single-node one (genbase-bench -serve-* -nodes N).
+// The sole exception is the multi-node Hadoop wrapper (shared MR-scheduler
+// accounting): serial-only, not servable.
 package serve
 
 import (

@@ -13,6 +13,7 @@ import (
 	"github.com/genbase/genbase/internal/core"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/multinode"
 )
 
 // stubEngine is a controllable engine for admission/cache tests.
@@ -354,5 +355,106 @@ func TestConcurrentAnswersBitwiseIdenticalToSerial(t *testing.T) {
 				t.Error(err)
 			}
 		})
+	}
+}
+
+// TestDistServeConcurrentMatchesSerial extends the serve acceptance contract
+// to the cluster tier (ISSUE 5): parallel clients against one multinode
+// Engine through the serving layer produce answers bitwise identical to a
+// serial run, for every virtual-cluster configuration and every scenario.
+// Each query executes on its own virtual cluster, so the simulated clocks
+// are query-local; with -race this doubles as the data-race stress test for
+// the shard→distributed-kernel path. (Concurrent queries time-share the
+// host's cores, which can perturb the measured — hence virtual — durations;
+// the contract is about answers, which must not move by a bit.)
+func TestDistServeConcurrentMatchesSerial(t *testing.T) {
+	ds := datagen.MustGenerate(datagen.Config{Size: datagen.Small, Scale: 0.4, Seed: 7})
+	params := engine.DefaultParams()
+
+	for _, kind := range multinode.AllKinds() {
+		kind := kind
+		t.Run(kind.String()+"@2n", func(t *testing.T) {
+			eng := multinode.New(kind, 2)
+			defer eng.Close()
+			if err := eng.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+
+			// Serial ground truth, straight on the engine.
+			serial := make(map[engine.QueryID]any)
+			var supported []engine.QueryID
+			for _, q := range engine.AllScenarios() {
+				if !eng.Supports(q) {
+					continue
+				}
+				res, err := eng.Run(context.Background(), q, params)
+				if err != nil {
+					t.Fatalf("serial %s: %v", q, err)
+				}
+				serial[q] = res.Answer
+				supported = append(supported, q)
+			}
+
+			const clients = 4
+			srv := New(eng, Options{MaxConcurrent: clients, DisableCache: true})
+			errCh := make(chan error, clients)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := range supported {
+						q := supported[(i+c)%len(supported)]
+						res, _, err := srv.Run(context.Background(), q, params)
+						if err != nil {
+							errCh <- fmt.Errorf("client %d %s: %w", c, q, err)
+							return
+						}
+						if !reflect.DeepEqual(res.Answer, serial[q]) {
+							errCh <- fmt.Errorf("client %d: %s answer diverges from serial run", c, q)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDistServeCachesByPlanFingerprint proves the cluster tier plugs into
+// the plan-fingerprint result cache like any single-node engine: repeated
+// hot queries are answered without re-execution, and parameterizations
+// differing only in fields the query ignores coalesce onto one entry.
+func TestDistServeCachesByPlanFingerprint(t *testing.T) {
+	ds := datagen.MustGenerate(datagen.Config{Size: datagen.Small, Scale: 0.4, Seed: 7})
+	eng := multinode.New(multinode.PBDR, 2)
+	defer eng.Close()
+	if err := eng.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{MaxConcurrent: 2})
+	p := engine.DefaultParams()
+	res1, hit, err := srv.Run(context.Background(), engine.Q1Regression, p)
+	if err != nil || hit {
+		t.Fatalf("first run: hit=%v err=%v", hit, err)
+	}
+	// Same query, different irrelevant field: must coalesce to the cached
+	// plan fingerprint.
+	p2 := p
+	p2.MaxAge = 77
+	res2, hit, err := srv.Run(context.Background(), engine.Q1Regression, p2)
+	if err != nil || !hit {
+		t.Fatalf("coalesced run: hit=%v err=%v", hit, err)
+	}
+	if !reflect.DeepEqual(res1.Answer, res2.Answer) {
+		t.Fatal("cached answer diverges")
+	}
+	if st := srv.Stats(); st.Admitted != 1 {
+		t.Fatalf("expected one admission, got %d", st.Admitted)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/genbase/genbase/internal/core"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/multinode"
 )
 
 // -update regenerates testdata/golden_answers.json from the current code.
@@ -41,6 +42,10 @@ func goldenAnswerHash(t *testing.T, answer any) string {
 
 func goldenKey(system string, q engine.QueryID) string {
 	return fmt.Sprintf("%s/%s", system, q)
+}
+
+func goldenClusterKey(system string, nodes int, q engine.QueryID) string {
+	return fmt.Sprintf("%s@%dn/%s", system, nodes, q)
 }
 
 // TestPlanPathMatchesPreRefactorGoldens runs the five paper queries on every
@@ -77,6 +82,33 @@ func TestPlanPathMatchesPreRefactorGoldens(t *testing.T) {
 				t.Fatalf("%s %s: %v", cfg.Name, q, err)
 			}
 			got[goldenKey(cfg.Name, q)] = goldenAnswerHash(t, res.Answer)
+		}
+	}
+
+	// The five multi-node configurations, at one and four nodes. The
+	// committed hashes were generated from the pre-refactor hardcoded
+	// multinode.Run at 4 nodes; because the distributed plan layer fixed the
+	// numeric shard partition at distlinalg.DefaultNumericShards (= the
+	// paper's largest cluster), the 1-node entries pin the same answers —
+	// answers are invariant to node count by construction, and at 4 nodes
+	// they coincide bit for bit with the pre-refactor per-node partitioning
+	// (DESIGN.md §13).
+	for _, kind := range multinode.AllKinds() {
+		for _, nodes := range []int{1, 4} {
+			eng := multinode.New(kind, nodes)
+			if err := eng.Load(ds); err != nil {
+				t.Fatalf("%s/%d load: %v", kind, nodes, err)
+			}
+			for _, q := range engine.AllQueries() {
+				if !eng.Supports(q) {
+					continue
+				}
+				res, err := eng.Run(context.Background(), q, p)
+				if err != nil {
+					t.Fatalf("%s@%dn %s: %v", kind, nodes, q, err)
+				}
+				got[goldenClusterKey(kind.String(), nodes, q)] = goldenAnswerHash(t, res.Answer)
+			}
 		}
 	}
 
