@@ -1,0 +1,232 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/genbase/genbase/internal/cluster"
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/faults"
+	"github.com/genbase/genbase/internal/serve"
+)
+
+// The -fault-drill sweep: for each (system, node count, fault scenario) it
+// measures one direct query's recovery makespan and a short served window's
+// QPS/p99, all with shard replication 2 so every schedule completes. Every
+// faulty run's answer is hashed against the healthy run's — a drill that
+// changes a single bit fails, which is the whole point of the deterministic
+// fault model (DESIGN.md §14).
+
+// drillConfig is the parsed -fault-drill flag set.
+type drillConfig struct {
+	duration time.Duration
+	think    time.Duration
+	size     datagen.Size
+	scale    float64
+	seed     uint64
+	outPath  string
+	quiet    bool
+}
+
+// drillReplication is the shard replication factor every drill runs with:
+// the smallest factor that survives any single-node crash.
+const drillReplication = 2
+
+// drillSystems are the configurations drilled: the ScaLAPACK-style
+// distributed path and the redistribution-heavy SciDB path.
+var drillSystems = []string{"pbdr", "scidb"}
+
+// drillNodeCounts are the cluster sizes swept (the paper's largest cluster
+// and one beyond it).
+var drillNodeCounts = []int{4, 8}
+
+// drillScenarios are the deterministic fault schedules swept per cluster
+// size. Node and step indices are chosen to hit mid-query work on every
+// system: node 1 always owns a shard at 4+ nodes, and step 2 lands inside
+// the per-shard kernel sequence.
+func drillScenarios() []struct{ name, plan string } {
+	return []struct{ name, plan string }{
+		{"healthy", ""},
+		{"node-kill", "crash:1@2"},
+		{"straggler", "slow:2x8"},
+		{"flaky", "flaky:0@1"},
+	}
+}
+
+// drillRunJSON is one row of the BENCH_faults.json baseline.
+type drillRunJSON struct {
+	System     string  `json:"system"`
+	Nodes      int     `json:"nodes"`
+	Scenario   string  `json:"scenario"`
+	Faults     string  `json:"faults"`
+	MakespanMs float64 `json:"makespan_ms"` // one Q2 run, recovery cost included
+	Failovers  int64   `json:"failovers"`
+	Hedges     int64   `json:"hedges"`
+	Retries    int64   `json:"retries"`
+	Degraded   bool    `json:"degraded"`
+	AnswerSHA  string  `json:"answer_sha"` // must match the healthy row's
+	QPS        float64 `json:"qps"`
+	P99Ms      float64 `json:"p99_ms"`
+	Queries    int64   `json:"queries"`
+	Shed       int64   `json:"shed"`
+	DegradedQ  int64   `json:"degraded_queries"`
+}
+
+type drillReportJSON struct {
+	Dataset     string         `json:"dataset"`
+	Scale       float64        `json:"scale"`
+	Seed        uint64         `json:"seed"`
+	Replication int            `json:"replication"`
+	DurationMs  float64        `json:"duration_ms_per_run"`
+	ThinkMs     float64        `json:"think_ms"`
+	CPUs        int            `json:"host_cpus"`
+	Results     []drillRunJSON `json:"results"`
+}
+
+// clusterInspector exposes the virtual cluster of an engine's last run (the
+// multinode engines implement it); the drill reads its recovery counters.
+type clusterInspector interface {
+	Cluster() *cluster.Cluster
+}
+
+func runFaultDrill(ctx context.Context, dc drillConfig) error {
+	ds, err := datagen.Generate(datagen.Config{Size: dc.size, Scale: dc.scale, Seed: dc.seed})
+	if err != nil {
+		return err
+	}
+	params := engine.DefaultParams()
+	mix := serveMix(params)
+
+	report := drillReportJSON{
+		Dataset:     string(dc.size),
+		Scale:       dc.scale,
+		Seed:        dc.seed,
+		Replication: drillReplication,
+		DurationMs:  float64(dc.duration) / float64(time.Millisecond),
+		ThinkMs:     float64(dc.think) / float64(time.Millisecond),
+		CPUs:        runtime.NumCPU(),
+	}
+
+	for _, name := range drillSystems {
+		cfg, err := core.ConfigByName(name)
+		if err != nil {
+			return err
+		}
+		for _, nodes := range drillNodeCounts {
+			fmt.Printf("fault drill — %s @ %d nodes (%s, replication %d, window %v)\n",
+				name, nodes, dc.size, drillReplication, dc.duration)
+			fmt.Printf("%10s  %16s  %12s  %5s  %5s  %5s  %10s  %10s  %9s\n",
+				"scenario", "plan", "makespan_ms", "fail", "hedge", "retry", "qps", "p99_ms", "degraded")
+			healthySHA := ""
+			for _, sc := range drillScenarios() {
+				plan, err := faults.Parse(sc.plan)
+				if err != nil {
+					return err
+				}
+				eng := cfg.NewCluster(nodes)
+				if err := eng.Load(ds); err != nil {
+					eng.Close()
+					return fmt.Errorf("%s: load: %w", name, err)
+				}
+				if err := configureFaults(eng, name, plan, drillReplication); err != nil {
+					eng.Close()
+					return err
+				}
+
+				// One direct query: the recovery makespan and the bit-identity
+				// check against the healthy run.
+				res, err := eng.Run(ctx, engine.Q2Covariance, params)
+				if err != nil {
+					eng.Close()
+					return fmt.Errorf("%s @ %d nodes, %s: %w", name, nodes, sc.name, err)
+				}
+				row := drillRunJSON{
+					System:    name,
+					Nodes:     nodes,
+					Scenario:  sc.name,
+					Faults:    plan.String(),
+					Degraded:  res.Degraded,
+					AnswerSHA: answerSHA(res.Answer),
+				}
+				if ci, ok := eng.(clusterInspector); ok {
+					c := ci.Cluster()
+					row.MakespanMs = c.MakespanSeconds() * 1e3
+					row.Failovers = c.Failovers.Load()
+					row.Hedges = c.Hedges.Load()
+					row.Retries = c.Retries.Load()
+				}
+				if sc.name == "healthy" {
+					healthySHA = row.AnswerSHA
+				} else if row.AnswerSHA != healthySHA {
+					eng.Close()
+					return fmt.Errorf("%s @ %d nodes, %s: answer diverged from healthy run (%s vs %s)",
+						name, nodes, sc.name, row.AnswerSHA, healthySHA)
+				}
+
+				// A short served window under the same schedule: the drill's
+				// QPS/p99 view of recovery cost.
+				srv := serve.New(eng, serve.Options{MaxConcurrent: 4, DisableCache: true})
+				bres, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
+					Clients: 4, Duration: dc.duration, Think: dc.think,
+				})
+				if err != nil {
+					eng.Close()
+					return fmt.Errorf("%s @ %d nodes, %s: serve: %w", name, nodes, sc.name, err)
+				}
+				row.QPS = round1(bres.QPS)
+				row.P99Ms = round2(ms(bres.P99))
+				row.Queries = bres.Queries
+				row.Shed = bres.Shed
+				row.DegradedQ = bres.Degraded
+				eng.Close()
+
+				fmt.Printf("%10s  %16s  %12.2f  %5d  %5d  %5d  %10.1f  %10.2f  %9d\n",
+					sc.name, quoteOrDash(row.Faults), row.MakespanMs,
+					row.Failovers, row.Hedges, row.Retries, row.QPS, row.P99Ms, row.DegradedQ)
+				report.Results = append(report.Results, row)
+			}
+			fmt.Println()
+		}
+	}
+
+	if dc.outPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(dc.outPath, blob, 0o644); err != nil {
+			return err
+		}
+		if !dc.quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", dc.outPath)
+		}
+	}
+	return nil
+}
+
+// answerSHA is the drill's bit-identity fingerprint of a query answer (the
+// same JSON-marshal hashing the golden-answer tests use).
+func answerSHA(answer any) string {
+	blob, err := json.Marshal(answer)
+	if err != nil {
+		return "unhashable:" + err.Error()
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8])
+}
+
+func quoteOrDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

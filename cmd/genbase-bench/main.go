@@ -46,6 +46,10 @@ func main() {
 	serveCache := flag.Bool("serve-cache", false, "serve mode: enable the shared result cache (repeated queries answered without re-execution)")
 	serveSize := flag.String("serve-size", "small", "serve mode: dataset preset")
 	serveOut := flag.String("serve-out", "", "serve mode: write the results JSON (the BENCH_serve.json baseline) to this file")
+	faultSpec := flag.String("faults", "", "serve mode with -nodes: deterministic fault plan injected into every query, e.g. \"crash:1@3,flaky:0@2,slow:2x8\" (see internal/faults)")
+	replication := flag.Int("replication", 1, "serve mode with -nodes: shard replication factor (2 survives any single-node crash with bit-identical answers)")
+	faultDrill := flag.Bool("fault-drill", false, "run the fault-drill sweep: node-kill, straggler, and flaky schedules at 4 and 8 nodes with replication 2, reporting QPS/p99 and recovery makespans")
+	faultsOut := flag.String("faults-out", "", "fault-drill mode: write the results JSON (the BENCH_faults.json baseline) to this file")
 	explain := flag.Bool("explain", false, "print the compiled plan of every scenario per engine (operator → physical impl → phase tag) and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	flag.Parse()
@@ -63,9 +67,25 @@ func main() {
 	}
 	engine.SetZeroCopy(*zerocopy)
 
-	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" {
+	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" && !*faultDrill {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *faultDrill {
+		fmt.Fprintln(os.Stderr, "running fault-drill sweep...")
+		err := runFaultDrill(context.Background(), drillConfig{
+			duration: *duration,
+			think:    *think,
+			size:     datagen.Size(strings.TrimSpace(*serveSize)),
+			scale:    *scale,
+			seed:     *seed,
+			outPath:  *faultsOut,
+			quiet:    *quiet,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if *clients != "" {
@@ -83,6 +103,8 @@ func main() {
 			seed:         *seed,
 			outPath:      *serveOut,
 			quiet:        *quiet,
+			faults:       strings.TrimSpace(*faultSpec),
+			replication:  *replication,
 		}
 		if *serveSystems != "" {
 			for _, s := range strings.Split(*serveSystems, ",") {

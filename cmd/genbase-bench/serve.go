@@ -10,9 +10,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/genbase/genbase/internal/cluster"
 	"github.com/genbase/genbase/internal/core"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/faults"
 	"github.com/genbase/genbase/internal/serve"
 )
 
@@ -29,6 +31,33 @@ type serveConfig struct {
 	seed         uint64
 	outPath      string
 	quiet        bool
+	faults       string // textual fault plan injected into cluster engines
+	replication  int    // shard replication factor for cluster engines
+}
+
+// faultConfigurable is implemented by the cluster engines: a deterministic
+// fault plan plus shard replication, set once before serving begins.
+type faultConfigurable interface {
+	SetFaults(cluster.Injector)
+	SetReplication(int)
+}
+
+// configureFaults installs the fault plan and replication factor on an
+// engine, erroring when faults are requested of an engine that cannot take
+// them (the single-node configurations have no cluster to fail).
+func configureFaults(eng engine.Engine, name string, plan *faults.Plan, replication int) error {
+	if (plan == nil || plan.Empty()) && replication <= 1 {
+		return nil
+	}
+	fc, ok := eng.(faultConfigurable)
+	if !ok {
+		return fmt.Errorf("%s cannot run fault drills (no virtual cluster); pass -nodes to serve a cluster variant", name)
+	}
+	if plan != nil && !plan.Empty() {
+		fc.SetFaults(plan)
+	}
+	fc.SetReplication(replication)
+	return nil
 }
 
 // serveMix is the hot-query mix every engine is driven with: the three
@@ -55,18 +84,23 @@ type serveRunJSON struct {
 	Queries      int64   `json:"queries"`
 	CacheHits    int64   `json:"cache_hits"`
 	PeakInFlight int64   `json:"peak_inflight"`
+	Shed         int64   `json:"shed,omitempty"`
+	Deadlined    int64   `json:"deadlined,omitempty"`
+	Degraded     int64   `json:"degraded,omitempty"`
 }
 
 type serveReportJSON struct {
-	Dataset    string         `json:"dataset"`
-	Scale      float64        `json:"scale"`
-	Seed       uint64         `json:"seed"`
-	DurationMs float64        `json:"duration_ms_per_run"`
-	ThinkMs    float64        `json:"think_ms"`
-	Cache      bool           `json:"cache"`
-	CPUs       int            `json:"host_cpus"`
-	Mix        []string       `json:"mix"`
-	Results    []serveRunJSON `json:"results"`
+	Dataset     string         `json:"dataset"`
+	Scale       float64        `json:"scale"`
+	Seed        uint64         `json:"seed"`
+	DurationMs  float64        `json:"duration_ms_per_run"`
+	ThinkMs     float64        `json:"think_ms"`
+	Cache       bool           `json:"cache"`
+	CPUs        int            `json:"host_cpus"`
+	Faults      string         `json:"faults,omitempty"`
+	Replication int            `json:"replication,omitempty"`
+	Mix         []string       `json:"mix"`
+	Results     []serveRunJSON `json:"results"`
 }
 
 // runServe is the -clients throughput mode: for each system, load the
@@ -74,6 +108,10 @@ type serveReportJSON struct {
 // report QPS and client-observed p50/p99 latency.
 func runServe(ctx context.Context, sc serveConfig) error {
 	ds, err := datagen.Generate(datagen.Config{Size: sc.size, Scale: sc.scale, Seed: sc.seed})
+	if err != nil {
+		return err
+	}
+	faultPlan, err := faults.Parse(sc.faults)
 	if err != nil {
 		return err
 	}
@@ -131,6 +169,8 @@ func runServe(ctx context.Context, sc serveConfig) error {
 		Cache:      sc.cache,
 		CPUs:       runtime.NumCPU(),
 	}
+	report.Faults = faultPlan.String()
+	report.Replication = sc.replication
 	for _, r := range mix {
 		report.Mix = append(report.Mix, r.Query.String())
 	}
@@ -159,10 +199,19 @@ func runServe(ctx context.Context, sc serveConfig) error {
 				cleanup()
 				return fmt.Errorf("%s: load: %w", cfg.Name, err)
 			}
+			if err := configureFaults(eng, cfg.Name, faultPlan, sc.replication); err != nil {
+				cleanup()
+				return err
+			}
 
-			fmt.Printf("serve throughput — %s @ %d node(s) (%s, cache %s, think %v, window %v)\n",
+			fmt.Printf("serve throughput — %s @ %d node(s) (%s, cache %s, think %v, window %v",
 				cfg.Name, nodes, sc.size, onOff(sc.cache), sc.think, sc.duration)
-			fmt.Printf("%8s  %10s  %10s  %10s  %9s  %5s\n", "clients", "qps", "p50_ms", "p99_ms", "queries", "peak")
+			if !faultPlan.Empty() {
+				fmt.Printf(", faults %q, replication %d", faultPlan, sc.replication)
+			}
+			fmt.Println(")")
+			fmt.Printf("%8s  %10s  %10s  %10s  %9s  %5s  %9s\n",
+				"clients", "qps", "p50_ms", "p99_ms", "queries", "peak", "degraded")
 			for _, n := range sc.clientCounts {
 				srv := serve.New(eng, serve.Options{MaxConcurrent: n, DisableCache: !sc.cache})
 				res, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
@@ -172,8 +221,8 @@ func runServe(ctx context.Context, sc serveConfig) error {
 					cleanup()
 					return fmt.Errorf("%s @ %d nodes, %d clients: %w", cfg.Name, nodes, n, err)
 				}
-				fmt.Printf("%8d  %10.1f  %10.2f  %10.2f  %9d  %5d\n",
-					n, res.QPS, ms(res.P50), ms(res.P99), res.Queries, res.PeakInFlight)
+				fmt.Printf("%8d  %10.1f  %10.2f  %10.2f  %9d  %5d  %9d\n",
+					n, res.QPS, ms(res.P50), ms(res.P99), res.Queries, res.PeakInFlight, res.Degraded)
 				report.Results = append(report.Results, serveRunJSON{
 					System:       res.System,
 					Nodes:        nodes,
@@ -184,6 +233,9 @@ func runServe(ctx context.Context, sc serveConfig) error {
 					Queries:      res.Queries,
 					CacheHits:    res.CacheHits,
 					PeakInFlight: res.PeakInFlight,
+					Shed:         res.Shed,
+					Deadlined:    res.Deadlined,
+					Degraded:     res.Degraded,
 				})
 			}
 			fmt.Println()

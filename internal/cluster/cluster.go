@@ -16,10 +16,53 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// Injector is the fault-injection hook consulted by Exec (DESIGN.md §14). An
+// implementation must be a pure function of (node, step) — no wall clock, no
+// unseeded randomness — so a fault schedule is fully replayable and the
+// injected behavior is deterministic per query. internal/faults provides the
+// standard implementation.
+type Injector interface {
+	// BeforeExec is consulted before a node runs its step-th execution (a
+	// 0-based per-node counter). Return nil to proceed. An error wrapping
+	// engine.ErrNodeFailed crashes the node (fail-stop: this and every later
+	// exec on the node fails without running). An error wrapping
+	// engine.ErrTransient fails only this attempt; the cluster retries it in
+	// place with virtual backoff.
+	BeforeExec(node, step int) error
+	// SlowFactor scales the node's measured compute durations (1 = healthy).
+	// Factors at or above the hedge threshold mark the node a straggler.
+	SlowFactor(node int) float64
+}
+
+// Fault-tolerance defaults (virtual seconds). All recovery costs are charged
+// to the virtual clocks so fault drills show up in the reported makespans.
+const (
+	// DefaultMaxRetries bounds in-place retries of a transient exec fault.
+	DefaultMaxRetries = 2
+	// DefaultRetryBackoffSec is the base virtual backoff charged per retry
+	// (doubled each attempt).
+	DefaultRetryBackoffSec = 1e-3
+	// DefaultFailoverDetectSec is the virtual detection delay charged when a
+	// shard fails over to a replica (the heartbeat/timeout a real cluster
+	// pays before re-dispatching).
+	DefaultFailoverDetectSec = 5e-3
+	// DefaultHedgeFactor is the slow-factor threshold at which a node counts
+	// as a straggler and its shards are hedged onto replicas.
+	DefaultHedgeFactor = 4
+	// DefaultHedgeOverheadSec is the virtual cost charged to the straggler
+	// for its cancelled speculative attempt when a hedge wins.
+	DefaultHedgeOverheadSec = 1e-3
 )
 
 // Config describes the simulated cluster.
@@ -34,6 +77,33 @@ type Config struct {
 	// measured / ComputeRate. 1.0 models the host Xeon; the Xeon Phi
 	// configuration uses per-kernel rates instead (see internal/xeonphi).
 	ComputeRate float64
+
+	// Injector injects deterministic faults into Exec (nil = fault-free).
+	Injector Injector
+	// ReplicationFactor is the number of nodes holding a copy of each shard
+	// (clamped to [1, Nodes]; default 1 = no replication). The shard
+	// scheduler in internal/distlinalg reads it to place replicas and to
+	// fail shard work over when an owner dies.
+	ReplicationFactor int
+	// MaxRetries bounds in-place retries of transient exec faults (default
+	// DefaultMaxRetries; negative disables retry).
+	MaxRetries int
+	// RetryBackoffSec is the base virtual backoff charged per retry,
+	// doubling each attempt (default DefaultRetryBackoffSec).
+	RetryBackoffSec float64
+	// ExecTimeoutSec, when positive, fail-stops a node whose single exec's
+	// virtual duration exceeds it — the per-node timeout that turns an
+	// extreme straggler into a crash the scheduler can fail over.
+	ExecTimeoutSec float64
+	// FailoverDetectSec is the virtual detection delay charged on replica
+	// failover (default DefaultFailoverDetectSec).
+	FailoverDetectSec float64
+	// HedgeFactor is the slow-factor threshold for hedging (default
+	// DefaultHedgeFactor; <0 disables hedging).
+	HedgeFactor float64
+	// HedgeOverheadSec is the virtual cost of a cancelled speculative
+	// attempt (default DefaultHedgeOverheadSec).
+	HedgeOverheadSec float64
 }
 
 // DefaultConfig returns the calibration used by the benchmark harness:
@@ -52,10 +122,20 @@ func DefaultConfig(nodes int) Config {
 type Cluster struct {
 	cfg    Config
 	clocks []float64 // virtual seconds
+	steps  []int     // per-node exec counters (fault-schedule positions)
+	dead   []bool    // fail-stopped nodes
 
 	// Stats for tests and the network ablation bench.
 	MessagesSent int64
 	BytesSent    int64
+
+	// Fault-recovery stats (atomic: nodes run concurrently under ExecAll).
+	// Retries counts in-place transient retries, Failovers shard re-executions
+	// on a replica after an owner death, Hedges speculative re-routes of a
+	// straggler's shard. Any non-zero value marks the run degraded.
+	Retries   atomic.Int64
+	Failovers atomic.Int64
+	Hedges    atomic.Int64
 }
 
 // New creates a cluster with all clocks at zero.
@@ -72,69 +152,298 @@ func New(cfg Config) *Cluster {
 	if cfg.ComputeRate <= 0 {
 		cfg.ComputeRate = 1
 	}
-	return &Cluster{cfg: cfg, clocks: make([]float64, cfg.Nodes)}
+	if cfg.ReplicationFactor < 1 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.ReplicationFactor > cfg.Nodes {
+		cfg.ReplicationFactor = cfg.Nodes
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.RetryBackoffSec <= 0 {
+		cfg.RetryBackoffSec = DefaultRetryBackoffSec
+	}
+	if cfg.FailoverDetectSec <= 0 {
+		cfg.FailoverDetectSec = DefaultFailoverDetectSec
+	}
+	if cfg.HedgeFactor == 0 {
+		cfg.HedgeFactor = DefaultHedgeFactor
+	}
+	if cfg.HedgeOverheadSec <= 0 {
+		cfg.HedgeOverheadSec = DefaultHedgeOverheadSec
+	}
+	return &Cluster{
+		cfg:    cfg,
+		clocks: make([]float64, cfg.Nodes),
+		steps:  make([]int, cfg.Nodes),
+		dead:   make([]bool, cfg.Nodes),
+	}
 }
 
 // Nodes returns the cluster size.
 func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 
-// Reset zeroes all clocks and stats (called between queries).
+// ReplicationFactor returns the configured shard replication factor
+// (clamped to the node count).
+func (c *Cluster) ReplicationFactor() int { return c.cfg.ReplicationFactor }
+
+// Reset zeroes all clocks, fault state, and stats (called between queries).
 func (c *Cluster) Reset() {
 	for i := range c.clocks {
 		c.clocks[i] = 0
+		c.steps[i] = 0
+		c.dead[i] = false
 	}
 	c.MessagesSent = 0
 	c.BytesSent = 0
+	c.Retries.Store(0)
+	c.Failovers.Store(0)
+	c.Hedges.Store(0)
+}
+
+// IsDead reports whether a node has fail-stopped. Only the goroutine running
+// a node's work writes its slot, and shard routing reads it between waves, so
+// the usual ExecAll ownership discipline keeps this race-free.
+func (c *Cluster) IsDead(node int) bool {
+	c.checkNode(node)
+	return c.dead[node]
+}
+
+// LiveNodes returns the number of nodes that have not fail-stopped.
+func (c *Cluster) LiveNodes() int {
+	n := 0
+	for _, d := range c.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Coordinator returns the lowest-numbered live node — the node that runs
+// reductions and answer assembly. When the original coordinator (node 0)
+// dies, the role deterministically fails over to the next live node; because
+// every reduction combines per-shard partials in shard order, the re-homed
+// reduction is bit-for-bit the original (DESIGN.md §14). With every node
+// dead it returns 0 (callers fail with ErrNodeFailed on the next Exec).
+func (c *Cluster) Coordinator() int {
+	for i, d := range c.dead {
+		if !d {
+			return i
+		}
+	}
+	return 0
+}
+
+// NodeSlowFactor returns the injected slow factor for a node (1 when
+// fault-free). The shard scheduler consults it to hedge stragglers before
+// dispatch — the decision is deterministic because the factor comes from the
+// fault plan, not from measured time.
+func (c *Cluster) NodeSlowFactor(node int) float64 {
+	c.checkNode(node)
+	if c.cfg.Injector == nil {
+		return 1
+	}
+	if f := c.cfg.Injector.SlowFactor(node); f > 1 {
+		return f
+	}
+	return 1
+}
+
+// HedgeFactor returns the slow-factor threshold at which the shard scheduler
+// hedges a node's shards onto replicas (<0 means hedging is disabled).
+func (c *Cluster) HedgeFactor() float64 { return c.cfg.HedgeFactor }
+
+// ChargeFailoverDetect charges the virtual failover detection delay to a
+// node and counts the failover.
+func (c *Cluster) ChargeFailoverDetect(node int) {
+	c.Charge(node, c.cfg.FailoverDetectSec)
+	c.Failovers.Add(1)
+}
+
+// ChargeHedge charges the straggler's cancelled speculative attempt and
+// counts the hedge. The charge lands on the node the work was re-routed to —
+// the straggler may be mid-exec on another goroutine, and the winner's clock
+// is the one the recovery cost must not undercut.
+func (c *Cluster) ChargeHedge(node int) {
+	c.Charge(node, c.cfg.HedgeOverheadSec)
+	c.Hedges.Add(1)
+}
+
+// Degraded reports whether any fault-recovery mechanism fired since Reset.
+func (c *Cluster) Degraded() bool {
+	return c.Retries.Load() > 0 || c.Failovers.Load() > 0 || c.Hedges.Load() > 0
 }
 
 // Exec runs fn immediately, measures its real duration, and charges it to
-// node's virtual clock (scaled by the compute rate).
+// node's virtual clock (scaled by the compute rate and the node's injected
+// slow factor). Injected faults are consulted first: a crashed node executes
+// nothing and returns engine.ErrNodeFailed; a transient fault is retried in
+// place up to MaxRetries times with doubling virtual backoff before it
+// escapes.
 func (c *Cluster) Exec(node int, fn func() error) error {
+	return c.ExecCtx(context.Background(), node, fn)
+}
+
+// ExecCtx is Exec honoring a context: a cancelled or expired context fails
+// the exec before fn runs (fn itself is synchronous compute and is not
+// interrupted mid-flight; callers check the context at operator boundaries).
+func (c *Cluster) ExecCtx(ctx context.Context, node int, fn func() error) error {
 	c.checkNode(node)
-	start := time.Now()
-	err := fn()
-	c.clocks[node] += time.Since(start).Seconds() / c.cfg.ComputeRate
-	return err
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if c.dead[node] {
+			return fmt.Errorf("node %d: %w", node, engine.ErrNodeFailed)
+		}
+		if inj := c.cfg.Injector; inj != nil {
+			step := c.steps[node]
+			c.steps[node]++
+			if err := inj.BeforeExec(node, step); err != nil {
+				if errors.Is(err, engine.ErrNodeFailed) {
+					c.dead[node] = true
+					return fmt.Errorf("node %d step %d: %w", node, step, err)
+				}
+				if errors.Is(err, engine.ErrTransient) && attempt < c.cfg.MaxRetries {
+					// Retry in place: charge the doubling virtual backoff so
+					// the recovery shows up in the makespan.
+					c.clocks[node] += c.cfg.RetryBackoffSec * float64(int64(1)<<attempt)
+					c.Retries.Add(1)
+					continue
+				}
+				return fmt.Errorf("node %d step %d: %w", node, step, err)
+			}
+		}
+		start := time.Now()
+		err := fn()
+		d := time.Since(start).Seconds() / c.cfg.ComputeRate
+		d *= c.NodeSlowFactor(node)
+		c.clocks[node] += d
+		if err == nil && c.cfg.ExecTimeoutSec > 0 && d > c.cfg.ExecTimeoutSec {
+			// The per-node exec timeout: an extreme straggler is declared
+			// failed so its shards can re-run on replicas.
+			c.dead[node] = true
+			return fmt.Errorf("node %d: exec exceeded %.3fs virtual timeout: %w",
+				node, c.cfg.ExecTimeoutSec, engine.ErrNodeFailed)
+		}
+		return err
+	}
+}
+
+// ExecCoordinator runs fn on the current coordinator (the lowest live node),
+// failing the role over down the live nodes if the coordinator dies at this
+// very step. With every node dead it returns engine.ErrReplicasExhausted
+// wrapping the per-node failures.
+func (c *Cluster) ExecCoordinator(fn func() error) error {
+	var attempts []error
+	for i := 0; i < c.cfg.Nodes; i++ {
+		if c.dead[i] {
+			continue
+		}
+		if len(attempts) > 0 {
+			// The role moved because the previous coordinator died at this
+			// very step: charge the detection delay to its successor.
+			c.ChargeFailoverDetect(i)
+		}
+		err := c.Exec(i, fn)
+		if err == nil || !errors.Is(err, engine.ErrNodeFailed) {
+			return err
+		}
+		attempts = append(attempts, err)
+	}
+	return fmt.Errorf("coordinator: %w", errors.Join(append(attempts, engine.ErrReplicasExhausted)...))
 }
 
 // ExecAll runs fn(node) once per node, charging each node's measured
-// duration to its own clock. When the host has at least one CPU per node the
-// closures run concurrently — real clusters run their nodes in parallel, and
-// each closure's wall-clock is still measured individually — otherwise they
-// run serially in node order, exactly as before: with fewer cores than nodes
-// the goroutines would time-share, inflating each measured duration with
-// descheduled time and corrupting the virtual clocks. Both NumCPU (physical
-// capacity; GOMAXPROCS can be set above it) and GOMAXPROCS (the scheduler's
-// actual limit) must cover the node count. Callers must make the closures
-// independent (they write disjoint per-node slots), which also keeps the
-// results identical on either path. On error the first failing node (by
-// index) wins.
+// duration to its own clock. See ExecAllCtx for the scheduling and error
+// semantics.
 func (c *Cluster) ExecAll(fn func(node int) error) error {
+	return c.ExecAllCtx(context.Background(), func(_ context.Context, node int) error {
+		return fn(node)
+	})
+}
+
+// ExecAllCtx runs fn(ctx, node) once per node. When the host has at least
+// one CPU per node the closures run concurrently — real clusters run their
+// nodes in parallel, and each closure's wall-clock is still measured
+// individually — otherwise they run serially in node order: with fewer cores
+// than nodes the goroutines would time-share, inflating each measured
+// duration with descheduled time and corrupting the virtual clocks. Both
+// NumCPU (physical capacity; GOMAXPROCS can be set above it) and GOMAXPROCS
+// (the scheduler's actual limit) must cover the node count. Callers must
+// make the closures independent (they write disjoint per-node slots), which
+// also keeps the results identical on either path.
+//
+// Error semantics: the first failing node cancels the shared context, so
+// in-flight siblings that honor it stop early, and every node error is
+// aggregated with errors.Join — no node's failure is silently dropped.
+// Sibling cancellations themselves are filtered out of the aggregate when a
+// real error is present (and the parent context is still live), so callers
+// see causes, not echoes.
+func (c *Cluster) ExecAllCtx(ctx context.Context, fn func(ctx context.Context, node int) error) error {
+	return c.RunNodes(ctx, func(cctx context.Context, i int) error {
+		return c.ExecCtx(cctx, i, func() error { return fn(cctx, i) })
+	})
+}
+
+// RunNodes applies ExecAll's scheduling policy — concurrent when the host
+// has a core per node, serial in node order otherwise — and its error
+// semantics (first failure cancels the shared context, all errors joined)
+// WITHOUT wrapping each node in Exec. Callers that need per-unit fault and
+// timing granularity (the shard scheduler) issue their own Exec calls per
+// work item inside fn.
+func (c *Cluster) RunNodes(ctx context.Context, fn func(ctx context.Context, node int) error) error {
 	n := c.cfg.Nodes
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	run := func(i int) {
+		errs[i] = fn(cctx, i)
+		if errs[i] != nil {
+			cancel()
+		}
+	}
 	if n == 1 || runtime.NumCPU() < n || runtime.GOMAXPROCS(0) < n {
 		for i := 0; i < n; i++ {
-			if err := c.Exec(i, func() error { return fn(i) }); err != nil {
-				return err
-			}
+			run(i)
 		}
-		return nil
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = c.Exec(i, func() error { return fn(i) })
-		}(i)
-	}
-	wg.Wait()
+	return joinNodeErrors(ctx, errs)
+}
+
+// joinNodeErrors aggregates per-node errors, dropping pure sibling
+// cancellations when a real cause is present and the parent context is live.
+func joinNodeErrors(ctx context.Context, errs []error) error {
+	real := false
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err != nil && !errors.Is(err, context.Canceled) {
+			real = true
+			break
 		}
 	}
-	return nil
+	var keep []error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if real && ctx.Err() == nil && errors.Is(err, context.Canceled) {
+			continue
+		}
+		keep = append(keep, err)
+	}
+	return errors.Join(keep...)
 }
 
 // Charge adds pre-measured virtual seconds to a node's clock (used by the
@@ -191,10 +500,13 @@ func (c *Cluster) Broadcast(root int, bytes int64) {
 }
 
 // AllReduce models a reduce-to-root followed by a broadcast, then a barrier
-// — the pattern behind every distributed vector sum in pbdR/ScaLAPACK.
+// — the pattern behind every distributed vector sum in pbdR/ScaLAPACK. The
+// root is the current coordinator, so the traffic re-homes with the role
+// after a coordinator death.
 func (c *Cluster) AllReduce(bytesPerNode int64) {
-	c.Gather(0, bytesPerNode)
-	c.Broadcast(0, bytesPerNode)
+	root := c.Coordinator()
+	c.Gather(root, bytesPerNode)
+	c.Broadcast(root, bytesPerNode)
 	c.Barrier()
 }
 

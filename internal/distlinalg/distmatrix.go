@@ -21,10 +21,13 @@
 package distlinalg
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"github.com/genbase/genbase/internal/cluster"
+	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
 )
 
@@ -82,13 +85,34 @@ func SplitIDsByBlock(starts []int, ids []int64) [][]int64 {
 }
 
 // DistMatrix is a dense matrix split into contiguous row blocks (numeric
-// shards), each placed on an owner node.
+// shards), each placed on an owner node. With a cluster ReplicationFactor
+// above 1, each shard additionally lists replica nodes holding an identical
+// copy; shard work fails over (or hedges) onto them without changing a bit
+// of any answer, because every reduction is a pure function of the shard
+// partition (see the package comment and DESIGN.md §14).
 type DistMatrix struct {
 	C      *cluster.Cluster
 	Parts  []*linalg.Matrix // Parts[s] is shard s (may have 0 rows)
 	Starts []int            // row offsets; Parts[s] covers [Starts[s], Starts[s+1])
 	Owners []int            // Owners[s] is the node holding shard s
-	Cols   int
+	// Replicas[s] lists the nodes holding shard s in failover preference
+	// order; Replicas[s][0] == Owners[s]. Nil means unreplicated.
+	Replicas [][]int
+	Cols     int
+}
+
+// replicas returns the shard→candidate-nodes table, defaulting to the
+// single-copy owner placement for matrices built before replication existed
+// (struct-literal construction in tests).
+func (d *DistMatrix) replicas() [][]int {
+	if d.Replicas != nil {
+		return d.Replicas
+	}
+	out := make([][]int, len(d.Owners))
+	for s, o := range d.Owners {
+		out[s] = []int{o}
+	}
+	return out
 }
 
 // Distribute scatters m from the coordinator (node 0) into
@@ -96,8 +120,10 @@ type DistMatrix struct {
 // charging the scatter communication.
 func Distribute(c *cluster.Cluster, m *linalg.Matrix) *DistMatrix {
 	starts := partitionRows(m.Rows, DefaultNumericShards)
+	shards := len(starts) - 1
 	d := &DistMatrix{C: c, Starts: starts, Cols: m.Cols,
-		Owners: ShardOwners(len(starts)-1, c.Nodes())}
+		Owners:   ShardOwners(shards, c.Nodes()),
+		Replicas: ReplicaPlacement(shards, c.Nodes(), c.ReplicationFactor())}
 	for s := 0; s+1 < len(starts); s++ {
 		rows := starts[s+1] - starts[s]
 		part := linalg.NewMatrix(rows, m.Cols)
@@ -105,8 +131,10 @@ func Distribute(c *cluster.Cluster, m *linalg.Matrix) *DistMatrix {
 			copy(part.Row(r), m.Row(starts[s]+r))
 		}
 		d.Parts = append(d.Parts, part)
-		if o := d.Owners[s]; o != 0 {
-			c.Send(0, o, int64(rows)*int64(m.Cols)*8)
+		for _, o := range d.Replicas[s] {
+			if o != 0 {
+				c.Send(0, o, int64(rows)*int64(m.Cols)*8)
+			}
 		}
 	}
 	c.Barrier()
@@ -141,8 +169,13 @@ func PartitionRows(n, shards int) []int { return partitionRows(n, shards) }
 // FromParts wraps already-partitioned shards (data that was loaded
 // partitioned, so no scatter cost — pbdR's "we evenly partitioned the data
 // between nodes"), placing them contiguously over the cluster's nodes.
+// Replica copies count as loaded alongside the primaries (load-time
+// replication, like HDFS block placement), so they carry no scatter cost
+// either.
 func FromParts(c *cluster.Cluster, parts []*linalg.Matrix) *DistMatrix {
-	d := &DistMatrix{C: c, Cols: 0, Owners: ShardOwners(len(parts), c.Nodes())}
+	d := &DistMatrix{C: c, Cols: 0,
+		Owners:   ShardOwners(len(parts), c.Nodes()),
+		Replicas: ReplicaPlacement(len(parts), c.Nodes(), c.ReplicationFactor())}
 	starts := make([]int, len(parts)+1)
 	for i, p := range parts {
 		starts[i+1] = starts[i] + p.Rows
@@ -158,42 +191,53 @@ func FromParts(c *cluster.Cluster, parts []*linalg.Matrix) *DistMatrix {
 // Rows is the global row count.
 func (d *DistMatrix) Rows() int { return d.Starts[len(d.Starts)-1] }
 
-// execParts runs fn once per shard, charging each node's clock with the
-// measured duration of its shards (run sequentially per node, concurrently
-// across nodes when the host has spare cores). Callers must make the shard
-// closures independent — they write disjoint per-shard slots — which also
-// keeps results identical on the serial and concurrent paths.
+// execParts runs fn once per shard through the fault-tolerant shard
+// scheduler: each shard runs on its primary, failing over to replicas when
+// nodes die and hedging off stragglers (RunShards). Callers must make the
+// shard closures independent AND idempotent — they write disjoint per-shard
+// slots, so a failover re-execution rewrites the same slot with the same
+// bits — which also keeps results identical on the serial and concurrent
+// paths.
 func (d *DistMatrix) execParts(fn func(s int) error) error {
-	byOwner := make([][]int, d.C.Nodes())
-	for s, o := range d.Owners {
-		byOwner[o] = append(byOwner[o], s)
-	}
-	return d.C.ExecAll(func(n int) error {
-		for _, s := range byOwner[n] {
-			if err := fn(s); err != nil {
-				return err
-			}
+	return RunShards(context.Background(), d.C, d.replicas(), fn)
+}
+
+// LiveOwner returns the first live node holding shard s — its primary when
+// healthy, the failover read path otherwise. A shard with no live copy left
+// returns a typed engine.ErrReplicasExhausted.
+func (d *DistMatrix) LiveOwner(s int) (int, error) {
+	for _, o := range d.replicas()[s] {
+		if !d.C.IsDead(o) {
+			return o, nil
 		}
-		return nil
-	})
+	}
+	return -1, fmt.Errorf("distlinalg: shard %d: no live replica: %w",
+		s, engine.ErrReplicasExhausted)
 }
 
 // Gather collects all shards on the coordinator and returns the full matrix
 // (used when an algorithm does not distribute, e.g. biclustering). Row
 // concatenation is shard-order, so the gathered matrix is identical at any
-// node count.
-func (d *DistMatrix) Gather() *linalg.Matrix {
+// node count and under any failover (each shard is sent from its first live
+// replica). A shard with no live replica fails the gather with a typed
+// engine.ErrReplicasExhausted.
+func (d *DistMatrix) Gather() (*linalg.Matrix, error) {
+	root := d.C.Coordinator()
 	m := linalg.NewMatrix(d.Rows(), d.Cols)
 	for s, part := range d.Parts {
-		if o := d.Owners[s]; o != 0 {
-			d.C.Send(o, 0, int64(part.Rows)*int64(part.Cols)*8)
+		src, err := d.LiveOwner(s)
+		if err != nil {
+			return nil, err
+		}
+		if src != root {
+			d.C.Send(src, root, int64(part.Rows)*int64(part.Cols)*8)
 		}
 		for r := 0; r < part.Rows; r++ {
 			copy(m.Row(d.Starts[s]+r), part.Row(r))
 		}
 	}
 	d.C.Barrier()
-	return m
+	return m, nil
 }
 
 // ColumnSums computes per-column sums with one partial per shard (computed
@@ -215,9 +259,9 @@ func (d *DistMatrix) ColumnSums() ([]float64, error) {
 	}); err != nil {
 		return nil, err
 	}
-	d.C.Gather(0, int64(d.Cols)*8)
+	d.C.Gather(d.C.Coordinator(), int64(d.Cols)*8)
 	var total []float64
-	err := d.C.Exec(0, func() error {
+	err := d.C.ExecCoordinator(func() error {
 		total = make([]float64, d.Cols)
 		for _, p := range partials {
 			for j, v := range p {
@@ -268,9 +312,9 @@ func (d *DistMatrix) gramCentered(means []float64) (*linalg.Matrix, error) {
 	}); err != nil {
 		return nil, err
 	}
-	d.C.Gather(0, int64(d.Cols)*int64(d.Cols)*8)
+	d.C.Gather(d.C.Coordinator(), int64(d.Cols)*int64(d.Cols)*8)
 	var gram *linalg.Matrix
-	err := d.C.Exec(0, func() error {
+	err := d.C.ExecCoordinator(func() error {
 		gram = linalg.NewMatrix(d.Cols, d.Cols)
 		for _, p := range partials {
 			gram.Add(gram, p)
@@ -298,7 +342,7 @@ func (d *DistMatrix) Covariance() (*linalg.Matrix, error) {
 	for j, s := range sums {
 		means[j] = s / float64(n)
 	}
-	d.C.Broadcast(0, int64(d.Cols)*8)
+	d.C.Broadcast(d.C.Coordinator(), int64(d.Cols)*8)
 	d.C.Barrier()
 	cov, err := d.CenteredGram(means)
 	if err != nil {
@@ -325,9 +369,9 @@ func (d *DistMatrix) XtY(y []float64) ([]float64, error) {
 	}); err != nil {
 		return nil, err
 	}
-	d.C.Gather(0, int64(d.Cols)*8)
+	d.C.Gather(d.C.Coordinator(), int64(d.Cols)*8)
 	var total []float64
-	err := d.C.Exec(0, func() error {
+	err := d.C.ExecCoordinator(func() error {
 		total = make([]float64, d.Cols)
 		for _, p := range partials {
 			for j, v := range p {
@@ -356,7 +400,7 @@ func (d *DistMatrix) LeastSquares(y []float64) (*linalg.LeastSquaresResult, erro
 		return nil, err
 	}
 	var beta []float64
-	err = d.C.Exec(0, func() error {
+	err = d.C.ExecCoordinator(func() error {
 		qr, qerr := linalg.NewQR(gram)
 		if qerr != nil {
 			return qerr
@@ -367,7 +411,7 @@ func (d *DistMatrix) LeastSquares(y []float64) (*linalg.LeastSquaresResult, erro
 	if err != nil {
 		return nil, err
 	}
-	d.C.Broadcast(0, int64(len(beta))*8)
+	d.C.Broadcast(d.C.Coordinator(), int64(len(beta))*8)
 	d.C.Barrier()
 
 	// Distributed residual pass, one partial per shard, shard-order sum.
@@ -385,7 +429,7 @@ func (d *DistMatrix) LeastSquares(y []float64) (*linalg.LeastSquaresResult, erro
 	}); err != nil {
 		return nil, err
 	}
-	d.C.Gather(0, 8)
+	d.C.Gather(d.C.Coordinator(), 8)
 	ssRes := 0.0
 	for _, v := range ssParts {
 		ssRes += v
@@ -437,7 +481,11 @@ func (o *ATAOperator) Apply(x []float64) []float64 {
 		return z
 	}
 	d.C.AllReduce(int64(d.Cols) * 8)
-	if err := d.C.Exec(0, func() error {
+	if err := d.C.ExecCoordinator(func() error {
+		// Re-zero so a coordinator failover re-execution stays idempotent.
+		for j := range z {
+			z[j] = 0
+		}
 		for _, p := range partials {
 			for j, v := range p {
 				z[j] += v

@@ -30,7 +30,10 @@ func TestDistributePreservesData(t *testing.T) {
 	if d.Rows() != 17 || d.Cols != 5 {
 		t.Fatalf("shape %dx%d", d.Rows(), d.Cols)
 	}
-	back := d.Gather()
+	back, err := d.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if linalg.MaxAbsDiff(m, back) != 0 {
 		t.Fatal("scatter/gather corrupted data")
 	}

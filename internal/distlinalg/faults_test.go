@@ -1,0 +1,227 @@
+package distlinalg
+
+// Fault-path tests for the replicated shard scheduler (DESIGN.md §14):
+// replica placement, crash failover, deterministic straggler hedging, typed
+// exhaustion, and the data path (Gather) surviving node loss.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/genbase/genbase/internal/cluster"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/faults"
+	"github.com/genbase/genbase/internal/linalg"
+)
+
+func faultyCluster(nodes, replication int, p *faults.Plan) *cluster.Cluster {
+	cfg := cluster.DefaultConfig(nodes)
+	cfg.Injector = p
+	cfg.ReplicationFactor = replication
+	return cluster.New(cfg)
+}
+
+// runCounting drives RunShards with a shard-execution counter and returns
+// the per-shard counts.
+func runCounting(t *testing.T, c *cluster.Cluster, replicas [][]int) ([]int, error) {
+	t.Helper()
+	counts := make([]int, len(replicas))
+	var mu sync.Mutex
+	err := RunShards(context.Background(), c, replicas, func(s int) error {
+		mu.Lock()
+		counts[s]++
+		mu.Unlock()
+		return nil
+	})
+	return counts, err
+}
+
+func TestFaultReplicaPlacementRing(t *testing.T) {
+	for _, tc := range []struct{ shards, nodes, factor int }{
+		{4, 4, 2}, {4, 2, 2}, {4, 3, 3}, {5, 4, 2}, {4, 4, 99}, {4, 4, 0},
+	} {
+		replicas := ReplicaPlacement(tc.shards, tc.nodes, tc.factor)
+		owners := ShardOwners(tc.shards, tc.nodes)
+		want := tc.factor
+		if want < 1 {
+			want = 1
+		}
+		if want > tc.nodes {
+			want = tc.nodes
+		}
+		for s, reps := range replicas {
+			if len(reps) != want {
+				t.Fatalf("%+v: shard %d has %d replicas, want %d", tc, s, len(reps), want)
+			}
+			if reps[0] != owners[s] {
+				t.Fatalf("%+v: shard %d primary %d != owner %d", tc, s, reps[0], owners[s])
+			}
+			seen := map[int]bool{}
+			for i, n := range reps {
+				if n != (owners[s]+i)%tc.nodes {
+					t.Fatalf("%+v: shard %d replica %d = node %d, want successor ring", tc, s, i, n)
+				}
+				if seen[n] {
+					t.Fatalf("%+v: shard %d places two copies on node %d", tc, s, n)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+func TestFaultRunShardsFailsOverCrashedPrimary(t *testing.T) {
+	c := faultyCluster(2, 2, faults.New().Crash(0, 0))
+	replicas := ReplicaPlacement(4, 2, 2) // shards 0,1 primary node 0; 2,3 node 1
+	counts, err := runCounting(t, c, replicas)
+	if err != nil {
+		t.Fatalf("failover run: %v", err)
+	}
+	for s, n := range counts {
+		if n != 1 {
+			t.Fatalf("shard %d ran %d times, want exactly 1 (crashed attempts never run fn)", s, n)
+		}
+	}
+	if got := c.Failovers.Load(); got != 2 {
+		t.Fatalf("Failovers = %d, want 2 (one per shard re-homed off node 0)", got)
+	}
+	if !c.Degraded() {
+		t.Fatal("a failed-over run must report Degraded")
+	}
+}
+
+func TestFaultRunShardsHedgesStraggler(t *testing.T) {
+	// Node 0 runs at 8× ≥ the default hedge threshold of 4: its shards are
+	// re-routed to the healthy replica before dispatch, deterministically.
+	c := faultyCluster(2, 2, faults.New().Slow(0, 8))
+	replicas := ReplicaPlacement(4, 2, 2)
+	counts, err := runCounting(t, c, replicas)
+	if err != nil {
+		t.Fatalf("hedged run: %v", err)
+	}
+	for s, n := range counts {
+		if n != 1 {
+			t.Fatalf("shard %d ran %d times, want 1 (hedging re-routes, never duplicates)", s, n)
+		}
+	}
+	if got := c.Hedges.Load(); got != 2 {
+		t.Fatalf("Hedges = %d, want 2 (both of the straggler's shards)", got)
+	}
+	if got := c.Failovers.Load(); got != 0 {
+		t.Fatalf("Failovers = %d, want 0 (a hedge is not a failover)", got)
+	}
+}
+
+func TestFaultRunShardsAllStragglersStillRun(t *testing.T) {
+	// With every replica a straggler there is nowhere healthier to hedge to:
+	// shards run on their primaries and the query completes, just slowly.
+	c := faultyCluster(2, 2, faults.New().Slow(0, 8).Slow(1, 8))
+	replicas := ReplicaPlacement(4, 2, 2)
+	counts, err := runCounting(t, c, replicas)
+	if err != nil {
+		t.Fatalf("all-straggler run: %v", err)
+	}
+	for s, n := range counts {
+		if n != 1 {
+			t.Fatalf("shard %d ran %d times, want 1", s, n)
+		}
+	}
+	if got := c.Hedges.Load(); got != 0 {
+		t.Fatalf("Hedges = %d, want 0 (no healthier replica exists)", got)
+	}
+}
+
+func TestFaultRunShardsReplicasExhausted(t *testing.T) {
+	c := faultyCluster(2, 1, faults.New().Crash(0, 0))
+	replicas := ReplicaPlacement(4, 2, 1) // unreplicated: node 0's shards have one copy
+	_, err := runCounting(t, c, replicas)
+	if !errors.Is(err, engine.ErrReplicasExhausted) {
+		t.Fatalf("got %v, want ErrReplicasExhausted without a replica to fail over to", err)
+	}
+	if !errors.Is(err, engine.ErrNodeFailed) {
+		t.Fatalf("aggregate %v must keep the per-attempt crash causes", err)
+	}
+}
+
+func TestFaultRunShardsGenuineErrorAborts(t *testing.T) {
+	boom := errors.New("kernel exploded")
+	c := faultyCluster(2, 2, nil)
+	replicas := ReplicaPlacement(4, 2, 2)
+	err := RunShards(context.Background(), c, replicas, func(s int) error {
+		if s == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the genuine compute error", err)
+	}
+	if errors.Is(err, engine.ErrReplicasExhausted) {
+		t.Fatal("a genuine compute error must not be retried into exhaustion")
+	}
+}
+
+func TestFaultGatherSurvivesNodeLoss(t *testing.T) {
+	m := randMatrix(17, 5, 3)
+	plan := faults.New().Crash(0, 0)
+
+	// Replicated: node 0's shards are read from their replicas, bit for bit.
+	c := faultyCluster(3, 2, plan)
+	d := Distribute(c, m)
+	if err := c.Exec(0, func() error { return nil }); !errors.Is(err, engine.ErrNodeFailed) {
+		t.Fatalf("setup crash: %v", err)
+	}
+	back, err := d.Gather()
+	if err != nil {
+		t.Fatalf("replicated gather after node loss: %v", err)
+	}
+	if linalg.MaxAbsDiff(m, back) != 0 {
+		t.Fatal("failover gather changed the data")
+	}
+
+	// Unreplicated: the same loss is a typed hard failure.
+	c1 := faultyCluster(3, 1, plan)
+	d1 := Distribute(c1, m)
+	if err := c1.Exec(0, func() error { return nil }); !errors.Is(err, engine.ErrNodeFailed) {
+		t.Fatalf("setup crash: %v", err)
+	}
+	if _, err := d1.Gather(); !errors.Is(err, engine.ErrReplicasExhausted) {
+		t.Fatalf("unreplicated gather after node loss: got %v, want ErrReplicasExhausted", err)
+	}
+}
+
+// Replication must be timing-only: the same reduction with and without
+// replicas — and with a crashed primary forcing failover — produces bitwise
+// identical numbers (the tentpole's determinism claim at the linalg layer).
+func TestFaultReductionsBitwiseInvariantToFailover(t *testing.T) {
+	m := randMatrix(33, 6, 9)
+	baseline, err := func() (*linalg.Matrix, error) {
+		_, d := dist(3, m)
+		return d.Gram()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"replicated-healthy", faults.New()},
+		{"crash-failover", faults.New().Crash(1, 0)},
+		{"straggler-hedge", faults.New().Slow(0, 8)},
+		{"flaky-retry", faults.New().Flaky(2, 0)},
+	} {
+		c := faultyCluster(3, 2, tc.plan)
+		d := Distribute(c, m)
+		gram, err := d.Gram()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if linalg.MaxAbsDiff(gram, baseline) != 0 {
+			t.Fatalf("%s: Gram diverges from the fault-free run", tc.name)
+		}
+	}
+}

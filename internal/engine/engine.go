@@ -209,6 +209,14 @@ type Result struct {
 	Query  QueryID
 	Timing Timing
 	Answer any // one of the *Answer types below
+
+	// Degraded reports that the run survived faults on the way to its answer
+	// — transient retries, replica failovers, or hedged stragglers. The
+	// answer is still bitwise identical to a fault-free run (it is a pure
+	// function of the shard partition, DESIGN.md §14); only the virtual
+	// timing carries the recovery cost. The serving tier counts degraded
+	// completions separately from clean ones.
+	Degraded bool
 }
 
 // Engine is a system under test. Load ingests the neutral dataset into the

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/genbase/genbase/internal/engine"
+)
+
+func TestFaultPlanParseStringRoundtrip(t *testing.T) {
+	cases := []string{
+		"",
+		"crash:1@3",
+		"flaky:0@2",
+		"slow:2x8",
+		"crash:0@0,crash:3@5,flaky:1@0,flaky:1@4,slow:2x2.5",
+	}
+	for _, spec := range cases {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Errorf("Parse(%q).String() = %q", spec, got)
+		}
+		// A second roundtrip through the canonical form is a fixed point.
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p.String(), err)
+		}
+		if p2.String() != p.String() {
+			t.Errorf("canonical form not a fixed point: %q vs %q", p2.String(), p.String())
+		}
+	}
+}
+
+func TestFaultPlanParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"boom", "crash:x@1", "crash:1@x", "crash:-1@0", "crash:1@-2",
+		"slow:1x0.5", "slow:1x-3", "slow:ax2", "flaky:1", "kill:1@2",
+		"crash:999999999@0", "slow:1x1e300", "crash:1@999999999999",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestFaultPlanInjectionSemantics(t *testing.T) {
+	p := New().Crash(1, 3).Flaky(0, 2).Slow(2, 8)
+
+	// Crash: fail-stop from the scheduled step onward, nothing before.
+	for step := 0; step < 3; step++ {
+		if err := p.BeforeExec(1, step); err != nil {
+			t.Fatalf("node 1 step %d failed before scheduled crash: %v", step, err)
+		}
+	}
+	for _, step := range []int{3, 4, 100} {
+		if err := p.BeforeExec(1, step); !errors.Is(err, engine.ErrNodeFailed) {
+			t.Fatalf("node 1 step %d: want ErrNodeFailed, got %v", step, err)
+		}
+	}
+
+	// Flaky: exactly the listed step fails, transiently.
+	if err := p.BeforeExec(0, 2); !errors.Is(err, engine.ErrTransient) {
+		t.Fatalf("flaky step: want ErrTransient, got %v", err)
+	}
+	if err := p.BeforeExec(0, 3); err != nil {
+		t.Fatalf("step after flaky must pass (the in-place retry): %v", err)
+	}
+
+	// Slow: only the listed node, factor as given.
+	if f := p.SlowFactor(2); f != 8 {
+		t.Fatalf("slow factor = %v, want 8", f)
+	}
+	if f := p.SlowFactor(0); f != 1 {
+		t.Fatalf("healthy node slow factor = %v, want 1", f)
+	}
+
+	// Unlisted nodes are untouched.
+	if err := p.BeforeExec(3, 0); err != nil {
+		t.Fatalf("unlisted node failed: %v", err)
+	}
+}
+
+func TestFaultPlanPureFunctionOfNodeStep(t *testing.T) {
+	p := New().Crash(0, 1).Flaky(1, 0)
+	for i := 0; i < 3; i++ {
+		if err := p.BeforeExec(0, 1); !errors.Is(err, engine.ErrNodeFailed) {
+			t.Fatalf("repeat consult %d changed the answer: %v", i, err)
+		}
+		if err := p.BeforeExec(1, 0); !errors.Is(err, engine.ErrTransient) {
+			t.Fatalf("repeat consult %d changed the answer: %v", i, err)
+		}
+		if err := p.BeforeExec(1, 1); err != nil {
+			t.Fatalf("repeat consult %d changed the answer: %v", i, err)
+		}
+	}
+}
+
+func TestFaultSeededDeterministic(t *testing.T) {
+	a := Seeded(4, 7)
+	b := Seeded(4, 7)
+	if a.String() != b.String() {
+		t.Fatalf("Seeded not deterministic: %q vs %q", a.String(), b.String())
+	}
+	if a.Empty() {
+		t.Fatal("seeded plan is empty")
+	}
+	if c := Seeded(4, 8); c.String() == a.String() {
+		t.Fatalf("different seeds produced identical plans: %q", a.String())
+	}
+	// The seeded plan roundtrips through its textual form.
+	rt, err := Parse(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.String() != a.String() {
+		t.Fatalf("seeded plan does not roundtrip: %q vs %q", rt.String(), a.String())
+	}
+}
+
+func TestFaultNilAndEmptyPlans(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() || nilPlan.BeforeExec(0, 0) != nil || nilPlan.SlowFactor(0) != 1 {
+		t.Fatal("nil plan must be fault-free")
+	}
+	if !New().Empty() {
+		t.Fatal("New() must be fault-free")
+	}
+	if New().String() != "" {
+		t.Fatal("empty plan must render empty")
+	}
+}

@@ -1,0 +1,83 @@
+package faults
+
+// FuzzFaultPlan feeds arbitrary strings through Parse and, for every spec
+// that parses, checks the two properties the fault layer stands on: the
+// canonical textual form is a fixed point (Parse ∘ String is the identity),
+// and executing the plan on a small replicated cluster is panic-free,
+// completing every shard or failing with a typed fault error — never an
+// untyped one, never a hang, never a panic (the Parse bounds exist exactly
+// so a hostile -faults flag cannot make execution arbitrarily expensive).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/genbase/genbase/internal/cluster"
+	"github.com/genbase/genbase/internal/distlinalg"
+	"github.com/genbase/genbase/internal/engine"
+)
+
+func FuzzFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash:1@3",
+		"flaky:0@2",
+		"slow:2x8",
+		"crash:1@3,flaky:0@2,slow:2x8",
+		"crash:0@0,crash:1@0,crash:2@0",
+		"slow:3x1e6",
+		"flaky:0@0,flaky:0@1,flaky:0@2,flaky:0@3",
+		" crash:0@0 , slow:1x4.5 ",
+		"crash:1024@1048576",
+		Seeded(3, 42).String(),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return // rejected specs are out of scope; Parse must only not panic
+		}
+
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", canon, got)
+		}
+
+		// Execute the plan: 3 nodes, 4 shards, replication 2. The run must
+		// terminate without panicking; shards either all complete exactly
+		// once or the scheduler fails with a typed fault error.
+		cfg := cluster.DefaultConfig(3)
+		cfg.Injector = p
+		cfg.ReplicationFactor = 2
+		c := cluster.New(cfg)
+		replicas := distlinalg.ReplicaPlacement(4, 3, 2)
+		counts := make([]int, len(replicas))
+		var mu sync.Mutex
+		err = distlinalg.RunShards(context.Background(), c, replicas, func(s int) error {
+			mu.Lock()
+			counts[s]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			if !errors.Is(err, engine.ErrReplicasExhausted) &&
+				!errors.Is(err, engine.ErrNodeFailed) &&
+				!errors.Is(err, engine.ErrTransient) {
+				t.Fatalf("plan %q failed with an untyped error: %v", canon, err)
+			}
+			return
+		}
+		for s, n := range counts {
+			if n != 1 {
+				t.Fatalf("plan %q: shard %d ran %d times, want exactly 1", canon, s, n)
+			}
+		}
+	})
+}

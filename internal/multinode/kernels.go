@@ -63,6 +63,21 @@ func (x *exec) execKernel(node int, kind string, inBytes, outBytes int64, fn fun
 	return nil
 }
 
+// shardKernelNode picks the node a shard's offloaded kernel runs on: the
+// shard's primary while it lives, its first live replica (with the failover
+// detection delay charged) after the primary dies. The kernel's bits do not
+// depend on the node, so the failover changes only the virtual timing.
+func (x *exec) shardKernelNode(d *distlinalg.DistMatrix, s int) (int, error) {
+	node, err := d.LiveOwner(s)
+	if err != nil {
+		return -1, err
+	}
+	if node != d.Owners[s] {
+		x.c.ChargeFailoverDetect(node)
+	}
+	return node, nil
+}
+
 // RunRegression implements plan.Physical. pbdR kinds solve distributed
 // normal equations; SciDB kinds redistribute first; the UDF kind gathers and
 // solves on the coordinator. Regression never offloads to the Phi (MKL
@@ -78,8 +93,11 @@ func (x *exec) RunRegression(ctx context.Context, _ *engine.StopWatch, d *distli
 	case ColstoreUDF:
 		// No distributed analytics runtime: gather to the coordinator and
 		// call the UDF there. Analytics do not scale with nodes.
-		xm := d.Gather()
-		err = x.c.Exec(0, func() error {
+		xm, gerr := d.Gather()
+		if gerr != nil {
+			return nil, 0, gerr
+		}
+		err = x.c.ExecCoordinator(func() error {
 			var kerr error
 			fit, kerr = linalg.LeastSquares(linalg.AddInterceptColumn(xm), y)
 			return kerr
@@ -110,8 +128,11 @@ func (x *exec) RunCovariance(ctx context.Context, _ *engine.StopWatch, d *distli
 	var err error
 	switch x.e.kind {
 	case ColstoreUDF:
-		xm := d.Gather()
-		err = x.c.Exec(0, func() error {
+		xm, gerr := d.Gather()
+		if gerr != nil {
+			return nil, gerr
+		}
+		err = x.c.ExecCoordinator(func() error {
 			// One worker: the coordinator models a single virtual node.
 			cov = linalg.CovarianceP(xm, 1)
 			return nil
@@ -144,15 +165,19 @@ func (x *exec) phiCovariance(d *distlinalg.DistMatrix) (*linalg.Matrix, error) {
 	for j, s := range sums {
 		means[j] = s / float64(n)
 	}
-	x.c.Broadcast(0, int64(d.Cols)*8)
+	x.c.Broadcast(x.c.Coordinator(), int64(d.Cols)*8)
 	x.c.Barrier()
 
 	partials := make([]*linalg.Matrix, len(d.Parts))
 	for i, part := range d.Parts {
 		i, part := i, part
+		node, err := x.shardKernelNode(d, i)
+		if err != nil {
+			return nil, err
+		}
 		inBytes := int64(part.Rows) * int64(part.Cols) * 8
 		outBytes := int64(d.Cols) * int64(d.Cols) * 8
-		err := x.execKernel(d.Owners[i], xeonphi.KindGEMM, inBytes, outBytes, func() error {
+		err = x.execKernel(node, xeonphi.KindGEMM, inBytes, outBytes, func() error {
 			centered := linalg.NewMatrix(part.Rows, part.Cols)
 			for r := 0; r < part.Rows; r++ {
 				src, dst := part.Row(r), centered.Row(r)
@@ -167,9 +192,9 @@ func (x *exec) phiCovariance(d *distlinalg.DistMatrix) (*linalg.Matrix, error) {
 			return nil, err
 		}
 	}
-	x.c.Gather(0, int64(d.Cols)*int64(d.Cols)*8)
+	x.c.Gather(x.c.Coordinator(), int64(d.Cols)*int64(d.Cols)*8)
 	var cov *linalg.Matrix
-	if err := x.c.Exec(0, func() error {
+	if err := x.c.ExecCoordinator(func() error {
 		cov = linalg.NewMatrix(d.Cols, d.Cols)
 		for _, p := range partials {
 			cov.Add(cov, p)
@@ -191,9 +216,12 @@ func (x *exec) RunSVD(ctx context.Context, _ *engine.StopWatch, d *distlinalg.Di
 	x.markAnalytics()
 	switch x.e.kind {
 	case ColstoreUDF:
-		a := d.Gather()
+		a, gerr := d.Gather()
+		if gerr != nil {
+			return nil, gerr
+		}
 		var sv []float64
-		err := x.c.Exec(0, func() error {
+		err := x.c.ExecCoordinator(func() error {
 			svd, kerr := linalg.TopKSVD(a, k, linalg.LanczosOptions{Reorthogonalize: true, Seed: seed, Workers: 1})
 			if kerr != nil {
 				return kerr
@@ -255,6 +283,11 @@ func (o *phiATAOperator) Apply(v []float64) []float64 {
 	partials := make([][]float64, len(d.Parts))
 	for i, part := range d.Parts {
 		i, part := i, part
+		node, err := o.x.shardKernelNode(d, i)
+		if err != nil {
+			o.err = err
+			return z
+		}
 		// The shard transfers to device memory once and stays resident
 		// across Lanczos iterations (as MKL automatic offload keeps it);
 		// only the x and z vectors cross the PCIe link per iteration.
@@ -262,7 +295,7 @@ func (o *phiATAOperator) Apply(v []float64) []float64 {
 		if !o.resident {
 			inBytes += int64(part.Rows) * int64(part.Cols) * 8
 		}
-		if err := o.x.execKernel(d.Owners[i], xeonphi.KindLanczos, inBytes, int64(d.Cols)*8, func() error {
+		if err := o.x.execKernel(node, xeonphi.KindLanczos, inBytes, int64(d.Cols)*8, func() error {
 			local := make([]float64, d.Cols)
 			for r := 0; r < part.Rows; r++ {
 				row := part.Row(r)
@@ -278,7 +311,11 @@ func (o *phiATAOperator) Apply(v []float64) []float64 {
 	}
 	o.resident = true
 	d.C.AllReduce(int64(d.Cols) * 8)
-	if err := d.C.Exec(0, func() error {
+	if err := d.C.ExecCoordinator(func() error {
+		// Re-zero so a coordinator failover re-execution stays idempotent.
+		for j := range z {
+			z[j] = 0
+		}
 		for _, p := range partials {
 			for j, v := range p {
 				z[j] += v
@@ -300,11 +337,14 @@ func (x *exec) RunBicluster(ctx context.Context, _ *engine.StopWatch, d *distlin
 	if err := engine.CheckCtx(ctx); err != nil {
 		return nil, err
 	}
-	xm := d.Gather()
+	xm, gerr := d.Gather()
+	if gerr != nil {
+		return nil, gerr
+	}
 	x.markAnalytics()
 	var blocks []bicluster.Bicluster
 	inBytes := int64(xm.Rows) * int64(xm.Cols) * 8
-	err := x.execKernel(0, xeonphi.KindBicluster, inBytes, 4096, func() error {
+	err := x.execKernel(x.c.Coordinator(), xeonphi.KindBicluster, inBytes, 4096, func() error {
 		var kerr error
 		blocks, kerr = bicluster.Run(xm, bicluster.Options{MaxBiclusters: maxB, Seed: seed})
 		return kerr
@@ -322,7 +362,7 @@ func (x *exec) RunStats(ctx context.Context, _ *engine.StopWatch, means []float6
 	x.markAnalytics()
 	var ans *engine.StatsAnswer
 	inBytes := int64(x.e.numGenes)*8 + int64(len(x.e.goArr))
-	err := x.execKernel(0, xeonphi.KindRank, inBytes, int64(x.e.numTerms)*16, func() error {
+	err := x.execKernel(x.c.Coordinator(), xeonphi.KindRank, inBytes, int64(x.e.numTerms)*16, func() error {
 		var kerr error
 		ans, kerr = engine.EnrichmentTest(ctx, means, members, sampled)
 		return kerr

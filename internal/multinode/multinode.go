@@ -93,6 +93,10 @@ type Engine struct {
 
 	numPats, numGenes, numTerms int
 
+	// Fault drill configuration (set before serving; read-only during Runs).
+	injector    cluster.Injector // deterministic fault plan (nil = fault-free)
+	replication int              // shard replication factor (0/1 = none)
+
 	// lastC is the virtual cluster of the most recently completed Run, kept
 	// for the network-ablation benches and tests that inspect traffic stats.
 	lastC atomic.Pointer[cluster.Cluster]
@@ -126,6 +130,18 @@ func (e *Engine) SetShards(s int) {
 
 // Nodes returns the configured cluster size.
 func (e *Engine) Nodes() int { return e.nodes }
+
+// SetFaults installs a deterministic fault injector (internal/faults.Plan)
+// consulted by every subsequent Run's virtual cluster. Nil restores
+// fault-free execution. Call before serving begins: the field is read-only
+// during Runs, matching the engine concurrency contract.
+func (e *Engine) SetFaults(inj cluster.Injector) { e.injector = inj }
+
+// SetReplication sets the shard replication factor for subsequent Runs
+// (clamped to the node count by the cluster; ≤1 disables replication). With
+// a factor of 2 every single-node crash schedule leaves each shard a live
+// replica, so fault drills complete with bitwise-identical answers.
+func (e *Engine) SetReplication(factor int) { e.replication = factor }
 
 // Cluster exposes the virtual cluster of the most recent completed Run (for
 // the network ablation bench and traffic assertions). Before any Run it
@@ -228,6 +244,9 @@ func (e *Engine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 	x := e.newExec()
 	res, err := plan.Execute[*distlinalg.DistMatrix](ctx, x, pl)
 	e.lastC.Store(x.c)
+	if res != nil {
+		res.Degraded = x.c.Degraded()
+	}
 	return res, err
 }
 

@@ -18,9 +18,9 @@ import (
 // cluster, so concurrent queries never share mutable state — the loaded
 // shards and replicated metadata are read-only.
 type exec struct {
-	e      *Engine
-	c      *cluster.Cluster
-	owners []int // shard → owner node for this run
+	e        *Engine
+	c        *cluster.Cluster
+	replicas [][]int // shard → candidate nodes in failover order (first = primary)
 
 	// Virtual-time phase attribution: all makespan growth between marks is
 	// credited to the bucket current at the time (plan.Timekeeper). There is
@@ -35,8 +35,12 @@ type exec struct {
 }
 
 func (e *Engine) newExec() *exec {
-	c := cluster.New(cluster.DefaultConfig(e.nodes))
-	x := &exec{e: e, c: c, owners: distlinalg.ShardOwners(e.shards, c.Nodes())}
+	cfg := cluster.DefaultConfig(e.nodes)
+	cfg.Injector = e.injector
+	cfg.ReplicationFactor = e.replication
+	c := cluster.New(cfg)
+	x := &exec{e: e, c: c,
+		replicas: distlinalg.ReplicaPlacement(e.shards, c.Nodes(), c.ReplicationFactor())}
 	x.cur = &x.discard
 	return x
 }
@@ -64,8 +68,9 @@ func (x *exec) MarkDone() { x.markTo(&x.discard) }
 
 // ExecLocal implements plan.Timekeeper: executor-resident steps (the shared
 // TopKByAbs covariance summary) run on the coordinator's clock, as they did
-// when the engines hand-coded them.
-func (x *exec) ExecLocal(fn func() error) error { return x.c.Exec(0, fn) }
+// when the engines hand-coded them — failing the role over if the
+// coordinator dies.
+func (x *exec) ExecLocal(fn func() error) error { return x.c.ExecCoordinator(fn) }
 
 // QueryTiming implements plan.Timekeeper.
 func (x *exec) QueryTiming() engine.Timing {
@@ -76,22 +81,13 @@ func (x *exec) QueryTiming() engine.Timing {
 	}
 }
 
-// execShards runs fn once per shard, charging each owner node's clock with
-// its shards' measured durations (shards of different nodes run concurrently
-// when the host has spare cores). fn must write disjoint per-shard slots.
+// execShards runs fn once per shard through the fault-tolerant shard
+// scheduler (distlinalg.RunShards): primaries first, failover to replicas
+// when nodes die, straggler shards hedged. fn must write disjoint per-shard
+// slots and be idempotent per shard (a failover re-execution rewrites the
+// slot with the same bits).
 func (x *exec) execShards(fn func(s int) error) error {
-	byOwner := make([][]int, x.c.Nodes())
-	for s, o := range x.owners {
-		byOwner[o] = append(byOwner[o], s)
-	}
-	return x.c.ExecAll(func(n int) error {
-		for _, s := range byOwner[n] {
-			if err := fn(s); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	return distlinalg.RunShards(context.Background(), x.c, x.replicas, fn)
 }
 
 // --- plan.Physical data management ---
@@ -253,10 +249,13 @@ func (x *exec) SampleMeans(ctx context.Context, step int) ([]float64, int, error
 	}); err != nil {
 		return nil, 0, err
 	}
-	x.c.Gather(0, int64(e.numGenes)*8)
+	x.c.Gather(x.c.Coordinator(), int64(e.numGenes)*8)
 	sampled := (e.numPats + step - 1) / step
-	means := make([]float64, e.numGenes)
-	if err := x.c.Exec(0, func() error {
+	var means []float64
+	if err := x.c.ExecCoordinator(func() error {
+		// Allocated inside so a coordinator failover re-execution stays
+		// idempotent (the sums and the divide both restart from zero).
+		means = make([]float64, e.numGenes)
 		for _, part := range partials {
 			for j, v := range part {
 				means[j] += v

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -42,6 +43,14 @@ type BenchResult struct {
 
 	CacheHits    int64
 	PeakInFlight int64
+
+	// Shed counts requests rejected with engine.ErrOverload (queue full or
+	// circuit open), Deadlined those failed with engine.ErrDeadlineExceeded
+	// — both non-fatal, excluded from Queries and the latency distribution.
+	Shed, Deadlined int64
+	// Degraded counts completed queries whose run survived injected faults
+	// (the answers are still bit-identical; see DESIGN.md §14).
+	Degraded int64
 }
 
 // Benchmark drives a server with closed-loop clients for roughly
@@ -63,12 +72,19 @@ func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOption
 	if duration <= 0 {
 		duration = time.Second
 	}
-	bctx, cancel := context.WithCancel(ctx)
+	deadline := time.Now().Add(duration)
+	// The window deadline is carried by the context, so a query still running
+	// when the window closes is interrupted at its next operator boundary
+	// instead of overrunning the measurement (the old between-requests check
+	// let one slow query stretch the window arbitrarily).
+	bctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 
 	lats := make([][]time.Duration, clients)
 	errs := make([]error, clients)
-	deadline := time.Now().Add(duration)
+	shed := make([]int64, clients)
+	deadlined := make([]int64, clients)
+	degraded := make([]int64, clients)
 	var wg sync.WaitGroup
 	wg.Add(clients)
 	start := time.Now()
@@ -83,14 +99,25 @@ func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOption
 				req := mix[i]
 				i = (i + 1) % len(mix)
 				qStart := time.Now()
-				_, _, err := srv.Run(bctx, req.Query, req.Params)
+				res, _, err := srv.Run(bctx, req.Query, req.Params)
 				if err != nil {
-					if bctx.Err() != nil {
-						return // cancelled mid-query; not a failure
+					switch {
+					case bctx.Err() != nil:
+						return // window closed or benchmark cancelled mid-query
+					case errors.Is(err, engine.ErrOverload):
+						shed[c]++ // shed load is an outcome, not a failure
+						continue
+					case errors.Is(err, engine.ErrDeadlineExceeded):
+						deadlined[c]++ // per-request timeout: counted, not fatal
+						continue
+					default:
+						errs[c] = err
+						cancel()
+						return
 					}
-					errs[c] = err
-					cancel()
-					return
+				}
+				if res != nil && res.Degraded {
+					degraded[c]++
 				}
 				lats[c] = append(lats[c], time.Since(qStart))
 				if opts.Think > 0 {
@@ -124,6 +151,11 @@ func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOption
 		Queries:      int64(len(all)),
 		CacheHits:    st.CacheHits,
 		PeakInFlight: st.PeakInFlight,
+	}
+	for c := 0; c < clients; c++ {
+		res.Shed += shed[c]
+		res.Deadlined += deadlined[c]
+		res.Degraded += degraded[c]
 	}
 	if len(all) > 0 {
 		res.QPS = float64(len(all)) / elapsed.Seconds()

@@ -33,8 +33,11 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/parallel"
@@ -43,6 +46,16 @@ import (
 
 // DefaultMaxConcurrent is the admission width when Options leaves it zero.
 const DefaultMaxConcurrent = 4
+
+// DefaultBreakerThreshold is the number of consecutive engine failures that
+// opens the circuit breaker when Options leaves it zero.
+const DefaultBreakerThreshold = 5
+
+// breakerProbeEvery is the half-open policy: while the circuit is open,
+// every breakerProbeEvery-th rejected request is let through as a probe; one
+// probe success closes the circuit. Count-based, so breaker behavior is
+// deterministic per request sequence (no recovery timers).
+const breakerProbeEvery = 8
 
 // WorkerSetter is implemented by engines whose analytics-kernel worker count
 // can be pinned (all single-node engines). Server uses it to divide the
@@ -65,6 +78,23 @@ type Options struct {
 	Cache *Cache
 	// DisableCache turns result caching off (every query executes).
 	DisableCache bool
+
+	// RequestTimeout is the per-request deadline applied to every Run (0 =
+	// none). A request that exceeds it — queueing included — fails with a
+	// typed engine.ErrDeadlineExceeded.
+	RequestTimeout time.Duration
+	// MaxQueue bounds the requests allowed to wait for an admission slot
+	// (0 = unbounded). At the bound, further requests are shed immediately
+	// with a typed engine.ErrOverload instead of growing the queue — the
+	// load-shedding that keeps tail latency bounded under overload.
+	MaxQueue int
+	// BreakerThreshold is the number of consecutive engine failures that
+	// opens this server's circuit breaker (default DefaultBreakerThreshold;
+	// negative disables the breaker). While open, requests fail fast with
+	// engine.ErrOverload; every breakerProbeEvery-th attempt runs as a
+	// half-open probe and one success closes the circuit. Client-side
+	// rejections (bad params, unsupported queries, shed load) never trip it.
+	BreakerThreshold int
 }
 
 // Server admits concurrent read-only queries over one loaded engine.
@@ -92,6 +122,66 @@ type Server struct {
 	inflight atomic.Int64
 	peak     atomic.Int64
 	admitted atomic.Int64
+
+	// Fault-tolerance serving state (DESIGN.md §14).
+	timeout  time.Duration
+	maxQueue int
+	breaker  *breaker
+	waiting  atomic.Int64 // requests blocked on the admission semaphore
+
+	shed           atomic.Int64 // rejected: admission queue full
+	breakerDenials atomic.Int64 // rejected: circuit open
+	deadlined      atomic.Int64 // failed: request deadline exceeded
+	engineFailures atomic.Int64 // engine Run errors (non-client)
+	degraded       atomic.Int64 // completions that survived injected faults
+}
+
+// breaker is a count-based circuit breaker: consecutive engine failures open
+// it, a successful half-open probe closes it. All transitions are functions
+// of the request/outcome sequence — no clocks — so drills replay exactly.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	consecutive int // consecutive engine failures
+	open        bool
+	rejects     int // rejections since the circuit opened
+}
+
+// allow reports whether a request may reach the engine, counting rejections
+// while open and letting every breakerProbeEvery-th attempt through as a
+// half-open probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	b.rejects++
+	return b.rejects%breakerProbeEvery == 0
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.open = false
+	b.rejects = 0
+}
+
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.open = true
+		b.rejects = 0
+	}
+}
+
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
 }
 
 // New wraps a loaded engine. It pins the engine's worker count to the
@@ -118,14 +208,24 @@ func New(eng engine.Engine, opts Options) *Server {
 	if opts.DisableCache {
 		cache = nil
 	}
-	return &Server{
-		eng:     eng,
-		system:  eng.Name(),
-		slots:   make(chan struct{}, maxc),
-		cache:   cache,
-		pending: make(map[Key]chan struct{}),
-		fps:     make(map[fpKey]string),
+	s := &Server{
+		eng:      eng,
+		system:   eng.Name(),
+		slots:    make(chan struct{}, maxc),
+		cache:    cache,
+		pending:  make(map[Key]chan struct{}),
+		fps:      make(map[fpKey]string),
+		timeout:  opts.RequestTimeout,
+		maxQueue: opts.MaxQueue,
 	}
+	if opts.BreakerThreshold >= 0 {
+		threshold := opts.BreakerThreshold
+		if threshold == 0 {
+			threshold = DefaultBreakerThreshold
+		}
+		s.breaker = &breaker{threshold: threshold}
+	}
+	return s
 }
 
 // fpKey memoizes fingerprints per exact parameterization.
@@ -174,7 +274,30 @@ func (s *Server) MaxConcurrent() int { return cap(s.slots) }
 // coalesced twin's execution). Cached results are shared between callers:
 // the Answer must be treated as immutable (every engine already builds
 // answers from fresh allocations and nothing downstream mutates them).
+//
+// Admission outcomes are typed for errors.Is: engine.ErrOverload when the
+// request is shed (queue full or circuit open), engine.ErrDeadlineExceeded
+// when the per-request deadline (or the caller's context deadline) expires,
+// engine.ErrBadParams / engine.ErrUnsupported for client-side rejections,
+// and the engine's own error otherwise.
 func (s *Server) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res, hit, err := s.run(ctx, q, p)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		s.deadlined.Add(1)
+		err = fmt.Errorf("serve: request deadline expired: %w", engine.ErrDeadlineExceeded)
+	}
+	if err == nil && res != nil && res.Degraded {
+		s.degraded.Add(1)
+	}
+	return res, hit, err
+}
+
+func (s *Server) run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
 	// Admission: resolve the plan fingerprint (compiling, and therefore
 	// validating the parameters, on first sight of this parameterization).
 	// Semantically identical requests share a key regardless of irrelevant
@@ -231,12 +354,29 @@ func (s *Server) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 	}
 }
 
-// execute admits one query through the semaphore and runs it on the engine.
+// execute admits one query through the semaphore and runs it on the engine,
+// applying the circuit breaker and the queue-depth load shedder first.
 func (s *Server) execute(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
+	if s.breaker != nil && !s.breaker.allow() {
+		s.breakerDenials.Add(1)
+		return nil, false, fmt.Errorf("serve: circuit open for %s: %w", s.system, engine.ErrOverload)
+	}
 	select {
-	case s.slots <- struct{}{}:
-	case <-ctx.Done():
-		return nil, false, ctx.Err()
+	case s.slots <- struct{}{}: // free slot, no queueing
+	default:
+		if s.maxQueue > 0 && s.waiting.Load() >= int64(s.maxQueue) {
+			s.shed.Add(1)
+			return nil, false, fmt.Errorf("serve: admission queue full (%d waiting): %w",
+				s.maxQueue, engine.ErrOverload)
+		}
+		s.waiting.Add(1)
+		select {
+		case s.slots <- struct{}{}:
+			s.waiting.Add(-1)
+		case <-ctx.Done():
+			s.waiting.Add(-1)
+			return nil, false, ctx.Err()
+		}
 	}
 	defer func() {
 		s.inflight.Add(-1)
@@ -251,10 +391,31 @@ func (s *Server) execute(ctx context.Context, q engine.QueryID, p engine.Params)
 	}
 	s.admitted.Add(1)
 	res, err := s.eng.Run(ctx, q, p)
+	s.noteOutcome(err)
 	if err != nil {
 		return nil, false, err
 	}
 	return res, false, nil
+}
+
+// noteOutcome feeds an engine result into the circuit breaker and failure
+// stats. Client-side rejections and cancellations say nothing about the
+// engine's health, so they neither trip nor reset the breaker.
+func (s *Server) noteOutcome(err error) {
+	if err == nil {
+		if s.breaker != nil {
+			s.breaker.onSuccess()
+		}
+		return
+	}
+	if errors.Is(err, engine.ErrBadParams) || errors.Is(err, engine.ErrUnsupported) ||
+		errors.Is(err, engine.ErrOverload) || errors.Is(err, context.Canceled) {
+		return
+	}
+	s.engineFailures.Add(1)
+	if s.breaker != nil {
+		s.breaker.onFailure()
+	}
 }
 
 // Stats is a snapshot of the server's counters.
@@ -270,14 +431,37 @@ type Stats struct {
 	// CacheHits / CacheMisses are the cache counters, zero when caching is
 	// disabled.
 	CacheHits, CacheMisses int64
+
+	// Shed counts requests rejected because the admission queue was full,
+	// BreakerDenials those rejected while the circuit was open — both typed
+	// engine.ErrOverload at the caller.
+	Shed, BreakerDenials int64
+	// Deadlined counts requests failed with engine.ErrDeadlineExceeded.
+	Deadlined int64
+	// EngineFailures counts engine Run errors other than client-side
+	// rejections and cancellations (the outcomes that feed the breaker).
+	EngineFailures int64
+	// Degraded counts completions whose run survived injected faults
+	// (failover, retry, or hedge fired; the answer is still bit-identical).
+	Degraded int64
+	// BreakerOpen reports whether the circuit is currently open.
+	BreakerOpen bool
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Admitted:     s.admitted.Load(),
-		InFlight:     s.inflight.Load(),
-		PeakInFlight: s.peak.Load(),
+		Admitted:       s.admitted.Load(),
+		InFlight:       s.inflight.Load(),
+		PeakInFlight:   s.peak.Load(),
+		Shed:           s.shed.Load(),
+		BreakerDenials: s.breakerDenials.Load(),
+		Deadlined:      s.deadlined.Load(),
+		EngineFailures: s.engineFailures.Load(),
+		Degraded:       s.degraded.Load(),
+	}
+	if s.breaker != nil {
+		st.BreakerOpen = s.breaker.isOpen()
 	}
 	if s.cache != nil {
 		st.CacheHits = s.cache.hits.Load()
