@@ -28,7 +28,7 @@ import (
 // drillConfig is the parsed -fault-drill flag set.
 type drillConfig struct {
 	duration time.Duration
-	think    time.Duration
+	rate     float64 // open-loop offered arrivals/sec
 	size     datagen.Size
 	scale    float64
 	seed     uint64
@@ -72,12 +72,13 @@ type drillRunJSON struct {
 	Hedges     int64   `json:"hedges"`
 	Retries    int64   `json:"retries"`
 	Degraded   bool    `json:"degraded"`
-	AnswerSHA  string  `json:"answer_sha"` // must match the healthy row's
-	QPS        float64 `json:"qps"`
-	P99Ms      float64 `json:"p99_ms"`
-	Queries    int64   `json:"queries"`
-	Shed       int64   `json:"shed"`
-	DegradedQ  int64   `json:"degraded_queries"`
+	AnswerSHA  string   `json:"answer_sha"` // must match the healthy row's
+	QPS        float64  `json:"qps"`
+	P99Ms      *float64 `json:"p99_ms"` // null when the window cannot resolve a p99
+	Queries    int64    `json:"queries"`
+	Dropped    int64    `json:"dropped,omitempty"`
+	Shed       int64    `json:"shed"`
+	DegradedQ  int64    `json:"degraded_queries"`
 }
 
 type drillReportJSON struct {
@@ -86,8 +87,9 @@ type drillReportJSON struct {
 	Seed        uint64         `json:"seed"`
 	Replication int            `json:"replication"`
 	DurationMs  float64        `json:"duration_ms_per_run"`
-	ThinkMs     float64        `json:"think_ms"`
+	RateQPS     float64        `json:"offered_rate_qps"`
 	CPUs        int            `json:"host_cpus"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
 	Results     []drillRunJSON `json:"results"`
 }
 
@@ -111,8 +113,9 @@ func runFaultDrill(ctx context.Context, dc drillConfig) error {
 		Seed:        dc.seed,
 		Replication: drillReplication,
 		DurationMs:  float64(dc.duration) / float64(time.Millisecond),
-		ThinkMs:     float64(dc.think) / float64(time.Millisecond),
+		RateQPS:     dc.rate,
 		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 
 	for _, name := range drillSystems {
@@ -175,22 +178,23 @@ func runFaultDrill(ctx context.Context, dc drillConfig) error {
 				// QPS/p99 view of recovery cost.
 				srv := serve.New(eng, serve.Options{MaxConcurrent: 4, DisableCache: true})
 				bres, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
-					Clients: 4, Duration: dc.duration, Think: dc.think,
+					Clients: 4, Duration: dc.duration, Rate: dc.rate, Seed: dc.seed,
 				})
 				if err != nil {
 					eng.Close()
 					return fmt.Errorf("%s @ %d nodes, %s: serve: %w", name, nodes, sc.name, err)
 				}
 				row.QPS = round1(bres.QPS)
-				row.P99Ms = round2(ms(bres.P99))
+				row.P99Ms = msq(bres.P99)
 				row.Queries = bres.Queries
+				row.Dropped = bres.Dropped
 				row.Shed = bres.Shed
 				row.DegradedQ = bres.Degraded
 				eng.Close()
 
-				fmt.Printf("%10s  %16s  %12.2f  %5d  %5d  %5d  %10.1f  %10.2f  %9d\n",
+				fmt.Printf("%10s  %16s  %12.2f  %5d  %5d  %5d  %10.1f  %10s  %9d\n",
 					sc.name, quoteOrDash(row.Faults), row.MakespanMs,
-					row.Failovers, row.Hedges, row.Retries, row.QPS, row.P99Ms, row.DegradedQ)
+					row.Failovers, row.Hedges, row.Retries, row.QPS, fmtQuantile(bres.P99), row.DegradedQ)
 				report.Results = append(report.Results, row)
 			}
 			fmt.Println()

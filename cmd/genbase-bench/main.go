@@ -37,10 +37,11 @@ func main() {
 	extension := flag.String("extension", "", "extension experiment: weak|bigcluster|approxsvd (paper future work)")
 	workers := flag.Int("workers", 0, "analytics worker count for every engine (0 = GENBASE_PARALLEL or NumCPU)")
 	zerocopy := flag.Bool("zerocopy", true, "use the zero-copy storage→kernel path; false re-enables the historical materialize/copy path (ablation, bitwise-identical answers)")
+	compress := flag.Bool("compress", true, "evaluate predicates on compressed column pages (dict-code EQ, RLE run skipping, packed-word tests); false re-enables the decode-then-filter path (ablation, bitwise-identical answers)")
 	parallelSweep := flag.String("parallel-sweep", "", "comma-separated worker counts: time the hot kernels at each and report single-core vs multicore speedups (e.g. 1,2,4,8)")
 	clients := flag.String("clients", "", "serve mode: comma-separated client counts (e.g. 1,2,4) driving concurrent queries through internal/serve; reports QPS and p50/p99 per engine")
 	duration := flag.Duration("duration", 1500*time.Millisecond, "serve mode: measurement window per (system, clients) run")
-	think := flag.Duration("think", 5*time.Millisecond, "serve mode: per-client idle time between queries (0 = tight closed loop)")
+	rate := flag.Float64("rate", 200, "serve mode: open-loop offered load in arrivals/sec (Poisson inter-arrival gaps from a seeded generator; arrivals finding the bounded queue full are dropped and counted)")
 	serveSystems := flag.String("serve-systems", "", "serve mode: comma-separated system names (default: every single-node configuration, or every multi-node one when -nodes has a value > 1)")
 	serveNodes := flag.String("nodes", "", "serve mode: comma-separated node counts (e.g. 1,2,4); counts > 1 serve the virtual-cluster variants — answers are identical at any node count (DESIGN.md §13)")
 	serveCache := flag.Bool("serve-cache", false, "serve mode: enable the shared result cache (repeated queries answered without re-execution)")
@@ -50,6 +51,8 @@ func main() {
 	replication := flag.Int("replication", 1, "serve mode with -nodes: shard replication factor (2 survives any single-node crash with bit-identical answers)")
 	faultDrill := flag.Bool("fault-drill", false, "run the fault-drill sweep: node-kill, straggler, and flaky schedules at 4 and 8 nodes with replication 2, reporting QPS/p99 and recovery makespans")
 	faultsOut := flag.String("faults-out", "", "fault-drill mode: write the results JSON (the BENCH_faults.json baseline) to this file")
+	scanBench := flag.Bool("scan-bench", false, "run the scan-throughput microbench: selective predicates on encoded pages vs decode-then-filter, rows/sec and bytes/sec per encoding")
+	scanOut := flag.String("scan-out", "", "scan-bench mode: write the results JSON (the BENCH_scan.json baseline) to this file")
 	explain := flag.Bool("explain", false, "print the compiled plan of every scenario per engine (operator → physical impl → phase tag) and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	flag.Parse()
@@ -66,17 +69,25 @@ func main() {
 		core.SetWorkers(*workers)
 	}
 	engine.SetZeroCopy(*zerocopy)
+	engine.SetCompression(*compress)
 
-	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" && !*faultDrill {
+	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" && !*faultDrill && !*scanBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *scanBench {
+		fmt.Fprintln(os.Stderr, "running scan-throughput microbench...")
+		if err := runScanBench(scanConfig{seed: *seed, outPath: *scanOut, quiet: *quiet}); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *faultDrill {
 		fmt.Fprintln(os.Stderr, "running fault-drill sweep...")
 		err := runFaultDrill(context.Background(), drillConfig{
 			duration: *duration,
-			think:    *think,
+			rate:     *rate,
 			size:     datagen.Size(strings.TrimSpace(*serveSize)),
 			scale:    *scale,
 			seed:     *seed,
@@ -96,7 +107,7 @@ func main() {
 		sc := serveConfig{
 			clientCounts: counts,
 			duration:     *duration,
-			think:        *think,
+			rate:         *rate,
 			cache:        *serveCache,
 			size:         datagen.Size(strings.TrimSpace(*serveSize)),
 			scale:        *scale,

@@ -22,7 +22,7 @@ import (
 type serveConfig struct {
 	clientCounts []int
 	duration     time.Duration
-	think        time.Duration
+	rate         float64 // open-loop offered arrivals/sec
 	systems      []string // empty = all single-node configurations
 	nodes        []int    // node counts; entries > 1 serve the virtual-cluster variant
 	cache        bool
@@ -73,20 +73,25 @@ func serveMix(p engine.Params) []serve.Request {
 	}
 }
 
-// serveRunJSON is one row of the BENCH_serve.json baseline.
+// serveRunJSON is one row of the BENCH_serve.json baseline. Percentile
+// fields are pointers: null marks a window whose sample count could not
+// resolve that quantile (serve.Quantile's Insufficient), never a fake max.
 type serveRunJSON struct {
-	System       string  `json:"system"`
-	Nodes        int     `json:"nodes"`
-	Clients      int     `json:"clients"`
-	QPS          float64 `json:"qps"`
-	P50Ms        float64 `json:"p50_ms"`
-	P99Ms        float64 `json:"p99_ms"`
-	Queries      int64   `json:"queries"`
-	CacheHits    int64   `json:"cache_hits"`
-	PeakInFlight int64   `json:"peak_inflight"`
-	Shed         int64   `json:"shed,omitempty"`
-	Deadlined    int64   `json:"deadlined,omitempty"`
-	Degraded     int64   `json:"degraded,omitempty"`
+	System       string   `json:"system"`
+	Nodes        int      `json:"nodes"`
+	Clients      int      `json:"clients"`
+	QPS          float64  `json:"qps"`
+	OfferedQPS   float64  `json:"offered_qps"`
+	Dropped      int64    `json:"dropped,omitempty"`
+	P50Ms        *float64 `json:"p50_ms"`
+	P99Ms        *float64 `json:"p99_ms"`
+	P999Ms       *float64 `json:"p999_ms"`
+	Queries      int64    `json:"queries"`
+	CacheHits    int64    `json:"cache_hits"`
+	PeakInFlight int64    `json:"peak_inflight"`
+	Shed         int64    `json:"shed,omitempty"`
+	Deadlined    int64    `json:"deadlined,omitempty"`
+	Degraded     int64    `json:"degraded,omitempty"`
 }
 
 type serveReportJSON struct {
@@ -94,9 +99,10 @@ type serveReportJSON struct {
 	Scale       float64        `json:"scale"`
 	Seed        uint64         `json:"seed"`
 	DurationMs  float64        `json:"duration_ms_per_run"`
-	ThinkMs     float64        `json:"think_ms"`
+	RateQPS     float64        `json:"offered_rate_qps"`
 	Cache       bool           `json:"cache"`
 	CPUs        int            `json:"host_cpus"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
 	Faults      string         `json:"faults,omitempty"`
 	Replication int            `json:"replication,omitempty"`
 	Mix         []string       `json:"mix"`
@@ -165,9 +171,10 @@ func runServe(ctx context.Context, sc serveConfig) error {
 		Scale:      sc.scale,
 		Seed:       sc.seed,
 		DurationMs: float64(sc.duration) / float64(time.Millisecond),
-		ThinkMs:    float64(sc.think) / float64(time.Millisecond),
+		RateQPS:    sc.rate,
 		Cache:      sc.cache,
 		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	report.Faults = faultPlan.String()
 	report.Replication = sc.replication
@@ -204,32 +211,36 @@ func runServe(ctx context.Context, sc serveConfig) error {
 				return err
 			}
 
-			fmt.Printf("serve throughput — %s @ %d node(s) (%s, cache %s, think %v, window %v",
-				cfg.Name, nodes, sc.size, onOff(sc.cache), sc.think, sc.duration)
+			fmt.Printf("serve throughput — %s @ %d node(s) (%s, cache %s, open-loop %.0f qps, window %v",
+				cfg.Name, nodes, sc.size, onOff(sc.cache), sc.rate, sc.duration)
 			if !faultPlan.Empty() {
 				fmt.Printf(", faults %q, replication %d", faultPlan, sc.replication)
 			}
 			fmt.Println(")")
-			fmt.Printf("%8s  %10s  %10s  %10s  %9s  %5s  %9s\n",
-				"clients", "qps", "p50_ms", "p99_ms", "queries", "peak", "degraded")
+			fmt.Printf("%8s  %10s  %10s  %10s  %10s  %10s  %9s  %7s  %5s  %9s\n",
+				"clients", "offered", "qps", "p50_ms", "p99_ms", "p999_ms", "queries", "dropped", "peak", "degraded")
 			for _, n := range sc.clientCounts {
 				srv := serve.New(eng, serve.Options{MaxConcurrent: n, DisableCache: !sc.cache})
 				res, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
-					Clients: n, Duration: sc.duration, Think: sc.think,
+					Clients: n, Duration: sc.duration, Rate: sc.rate, Seed: sc.seed,
 				})
 				if err != nil {
 					cleanup()
 					return fmt.Errorf("%s @ %d nodes, %d clients: %w", cfg.Name, nodes, n, err)
 				}
-				fmt.Printf("%8d  %10.1f  %10.2f  %10.2f  %9d  %5d  %9d\n",
-					n, res.QPS, ms(res.P50), ms(res.P99), res.Queries, res.PeakInFlight, res.Degraded)
+				fmt.Printf("%8d  %10.1f  %10.1f  %10s  %10s  %10s  %9d  %7d  %5d  %9d\n",
+					n, res.OfferedQPS, res.QPS, fmtQuantile(res.P50), fmtQuantile(res.P99),
+					fmtQuantile(res.P999), res.Queries, res.Dropped, res.PeakInFlight, res.Degraded)
 				report.Results = append(report.Results, serveRunJSON{
 					System:       res.System,
 					Nodes:        nodes,
 					Clients:      n,
 					QPS:          round1(res.QPS),
-					P50Ms:        round2(ms(res.P50)),
-					P99Ms:        round2(ms(res.P99)),
+					OfferedQPS:   round1(res.OfferedQPS),
+					Dropped:      res.Dropped,
+					P50Ms:        msq(res.P50),
+					P99Ms:        msq(res.P99),
+					P999Ms:       msq(res.P999),
 					Queries:      res.Queries,
 					CacheHits:    res.CacheHits,
 					PeakInFlight: res.PeakInFlight,
@@ -260,6 +271,25 @@ func runServe(ctx context.Context, sc serveConfig) error {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// msq converts a latency quantile to a rounded millisecond value, nil
+// (JSON null) when the window's samples could not resolve it.
+func msq(q serve.Quantile) *float64 {
+	if q.Insufficient {
+		return nil
+	}
+	v := round2(ms(q.Value))
+	return &v
+}
+
+// fmtQuantile renders a quantile for the text table: "-" marks
+// insufficient samples.
+func fmtQuantile(q serve.Quantile) string {
+	if q.Insufficient {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", ms(q.Value))
+}
 
 func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -1,0 +1,94 @@
+package genbase
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/datagen"
+	"github.com/genbase/genbase/internal/engine"
+	"github.com/genbase/genbase/internal/multinode"
+)
+
+// The compression acceptance contract (DESIGN.md §15): evaluating
+// predicates directly on the encoded column pages — dictionary-code
+// equality, RLE run skipping, packed-word range tests — must not change a
+// single bit of any answer. Every configuration runs every supported query
+// twice against one loaded engine (the knob flips at query time), the two
+// answers must be reflect.DeepEqual (exact float64 comparison, no
+// tolerance), and the compressed answer must also match the committed
+// golden hash, pinning the encoded path to the historical answers.
+func TestCompressedAnswersBitwiseIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compression sweep is not short")
+	}
+	defer engine.SetCompression(true)
+	ds, err := datagen.Generate(datagen.Config{Size: datagen.Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultParams()
+
+	goldens := make(map[string]string)
+	if raw, err := os.ReadFile(goldenPath); err == nil {
+		if err := json.Unmarshal(raw, &goldens); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		t.Fatalf("read goldens: %v", err)
+	}
+
+	check := func(t *testing.T, eng engine.Engine, key func(engine.QueryID) string) {
+		for _, q := range engine.AllQueries() {
+			if !eng.Supports(q) {
+				continue
+			}
+			engine.SetCompression(true)
+			on, err := eng.Run(context.Background(), q, p)
+			if err != nil {
+				t.Fatalf("%s compressed: %v", q, err)
+			}
+			engine.SetCompression(false)
+			off, err := eng.Run(context.Background(), q, p)
+			if err != nil {
+				t.Fatalf("%s decode-then-filter: %v", q, err)
+			}
+			if !reflect.DeepEqual(on.Answer, off.Answer) {
+				t.Errorf("%s: answers diverge between encoded pushdown and decode-then-filter:\n on: %+v\noff: %+v",
+					q, on.Answer, off.Answer)
+			}
+			if want := goldens[key(q)]; want != "" {
+				if got := goldenAnswerHash(t, on.Answer); got != want {
+					t.Errorf("%s: compressed answer diverges from golden (hash %s != %s)", key(q), got, want)
+				}
+			}
+		}
+	}
+
+	for _, cfg := range core.SingleNodeConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			eng := cfg.New(1, t.TempDir())
+			defer eng.Close()
+			if err := eng.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			check(t, eng, func(q engine.QueryID) string { return goldenKey(cfg.Name, q) })
+		})
+	}
+	for _, kind := range multinode.AllKinds() {
+		for _, nodes := range []int{1, 4} {
+			kind, nodes := kind, nodes
+			t.Run(kind.String()+"@"+string(rune('0'+nodes))+"n", func(t *testing.T) {
+				eng := multinode.New(kind, nodes)
+				if err := eng.Load(ds); err != nil {
+					t.Fatal(err)
+				}
+				check(t, eng, func(q engine.QueryID) string { return goldenClusterKey(kind.String(), nodes, q) })
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/genbase/genbase/internal/colpage"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/plan"
@@ -30,6 +31,10 @@ type Engine struct {
 	drugResponse         []float64
 	// 1-D attribute arrays indexed by gene id.
 	function []int64
+	// Compressed twins of the attribute arrays (internal/colpage), built at
+	// Load so the -compress knob can flip at query time: SelectIDs pushes
+	// structured predicates down to these instead of scanning dense.
+	attrPages map[string]*colpage.IntPage
 	// GO membership in array form: belongs[gene, term].
 	goArr   []uint8
 	numPats int
@@ -98,6 +103,12 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 	e.goArr = make([]uint8, len(ds.GO))
 	copy(e.goArr, ds.GO)
 	e.numPats, e.numGen, e.numTerm = p, ds.Dims.Genes, ds.Dims.GOTerms
+	e.attrPages = map[string]*colpage.IntPage{
+		plan.ColAge:       colpage.BuildInt(e.age),
+		plan.ColGender:    colpage.BuildInt(e.gender),
+		plan.ColDiseaseID: colpage.BuildInt(e.disease),
+		plan.ColFunction:  colpage.BuildInt(e.function),
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/genbase/genbase/internal/bicluster"
+	"github.com/genbase/genbase/internal/colpage"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
 	"github.com/genbase/genbase/internal/plan"
@@ -40,9 +41,35 @@ func (e *Engine) attrOf(table, col string) ([]int64, error) {
 	}
 }
 
-// SelectIDs implements plan.Physical: a dense scan over the attribute
-// arrays (ids are array coordinates).
+// SelectIDs implements plan.Physical (ids are array coordinates). With the
+// compression knob on, predicates push down to the encoded attribute pages
+// (dictionary-code equality, RLE run skipping, packed-word range tests —
+// DESIGN.md §15) and rejected coordinates are never decoded; the ablation
+// path is the historical dense scan.
 func (e *Engine) SelectIDs(_ context.Context, table string, preds []plan.Pred) ([]int64, error) {
+	if engine.CompressionEnabled() && len(preds) > 0 {
+		var sel []int32
+		for i, p := range preds {
+			if _, err := e.attrOf(table, p.Col); err != nil {
+				return nil, err
+			}
+			pg := e.attrPages[p.Col]
+			cp := colpage.Pred{Op: colpage.LT, Val: p.Val}
+			if p.Op == plan.CmpEQ {
+				cp.Op = colpage.EQ
+			}
+			if i == 0 {
+				sel = pg.Select(cp, nil)
+			} else {
+				sel = pg.RefinePred(cp, sel)
+			}
+		}
+		out := make([]int64, len(sel))
+		for i, c := range sel {
+			out[i] = int64(c)
+		}
+		return out, nil
+	}
 	cols := make([][]int64, len(preds))
 	for i, p := range preds {
 		a, err := e.attrOf(table, p.Col)
@@ -297,6 +324,9 @@ func (e *Engine) PhysicalName(k plan.OpKind) string {
 	}
 	switch k {
 	case plan.OpSelectPred:
+		if engine.CompressionEnabled() {
+			return "encoded attribute-page pushdown"
+		}
 		return "attribute-array scan"
 	case plan.OpScanTable:
 		return "attribute-array projection"

@@ -1,0 +1,73 @@
+// Package colpage implements compressed column pages: the unit of columnar
+// storage shared by the colstore column layout, the rowstore columnar
+// sidecar (persisted through storage page frames), and the arraydb
+// attribute arrays.
+//
+// A page holds one column segment under one of four encodings —
+// dictionary (low-cardinality ID/string-code columns), run-length
+// (sorted/clustered runs), bit-packed frame-of-reference (narrow integer
+// domains), or raw — chosen per segment by serialized size. Predicates are
+// evaluated directly on the encoded form (DESIGN.md §15): dictionary
+// entries are tested once and matched by code, RLE runs are tested once
+// and emitted or skipped whole, and bit-packed words are range-tested with
+// SWAR lane probes before any lane is unpacked. Selection vectors are
+// always ascending positions, so every caller sees the exact row order a
+// decode-then-filter scan would produce — encoding changes layout, never a
+// value and never an order.
+package colpage
+
+// Encoding identifies how a page stores its values.
+type Encoding uint8
+
+const (
+	// Raw stores every value verbatim (8 bytes each).
+	Raw Encoding = iota
+	// RLE stores (value, exclusive end position) runs.
+	RLE
+	// Dict stores the distinct values once plus a bit-packed code per row.
+	Dict
+	// Packed stores bit-packed offsets from the page minimum
+	// (frame-of-reference).
+	Packed
+)
+
+// String names an encoding for bench output and tests.
+func (e Encoding) String() string {
+	switch e {
+	case Raw:
+		return "raw"
+	case RLE:
+		return "rle"
+	case Dict:
+		return "dict"
+	case Packed:
+		return "packed"
+	}
+	return "unknown"
+}
+
+// Op is a comparison operator of a pushed-down predicate. It mirrors
+// plan.CmpOp without importing the planner.
+type Op uint8
+
+const (
+	// LT selects values strictly below Val.
+	LT Op = iota
+	// EQ selects values equal to Val.
+	EQ
+)
+
+// Pred is a structured predicate a page can evaluate in encoded space.
+type Pred struct {
+	Op  Op
+	Val int64
+}
+
+// Eval applies the predicate to one decoded value (the fallback the
+// encodings reduce to — once per dictionary entry or run, not per row).
+func (p Pred) Eval(v int64) bool {
+	if p.Op == LT {
+		return v < p.Val
+	}
+	return v == p.Val
+}

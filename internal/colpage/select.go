@@ -1,0 +1,286 @@
+package colpage
+
+// Select evaluates a structured predicate directly on the encoded form and
+// appends the matching positions (ascending) to sel. Filtered-out values
+// are never materialized:
+//
+//   - Dict: each dictionary entry is tested once; rows are matched by
+//     comparing packed codes, with SWAR word probes skipping whole words
+//     that cannot contain the single matching code.
+//   - RLE: each run's value is tested once; matching runs are emitted as
+//     whole spans, non-matching runs are skipped without touching rows.
+//   - Packed: the predicate is translated into code space (Val-ref) and
+//     compared against packed lanes; SWAR word probes skip words with no
+//     lane below an LT threshold or equal to an EQ target.
+//   - Raw: plain per-value comparison (there is no encoded shortcut).
+//
+// A zone check on the segment's min/max first discards or accepts the
+// whole page.
+func (p *IntPage) Select(pred Pred, sel []int32) []int32 {
+	if p.n == 0 {
+		return sel
+	}
+	// Zone test: the whole segment is out — or in.
+	switch pred.Op {
+	case LT:
+		if p.minVal >= pred.Val {
+			return sel
+		}
+		if p.maxVal < pred.Val {
+			return appendAll(sel, p.n)
+		}
+	case EQ:
+		if pred.Val < p.minVal || pred.Val > p.maxVal {
+			return sel
+		}
+		if p.minVal == p.maxVal {
+			return appendAll(sel, p.n)
+		}
+	}
+
+	switch p.enc {
+	case RLE:
+		start := int32(0)
+		for r, v := range p.runVals {
+			end := p.runEnds[r]
+			if pred.Eval(v) {
+				for i := start; i < end; i++ {
+					sel = append(sel, i)
+				}
+			}
+			start = end
+		}
+		return sel
+	case Dict:
+		if pred.Op == EQ {
+			// Dictionary-code equality: find the one code whose entry
+			// matches, then scan codes for it.
+			target := -1
+			for c, v := range p.dict {
+				if v == pred.Val {
+					target = c
+					break
+				}
+			}
+			if target < 0 {
+				return sel
+			}
+			return p.selectCodeEQ(uint64(target), sel)
+		}
+		// LT: test each entry once into a per-code match table.
+		match := make([]bool, len(p.dict))
+		for c, v := range p.dict {
+			match[c] = v < pred.Val
+		}
+		for i := 0; i < p.n; i++ {
+			if match[lane(p.words, i, p.width)] {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	case Packed:
+		if pred.Op == EQ {
+			return p.selectCodeEQ(uint64(pred.Val-p.ref), sel)
+		}
+		// LT in code space: zone test guaranteed minVal < Val ≤ maxVal,
+		// so the threshold is in [1, maxVal-ref].
+		return p.selectCodeLT(uint64(pred.Val-p.ref), sel)
+	}
+	for i, v := range p.raw {
+		if pred.Eval(v) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+func appendAll(sel []int32, n int) []int32 {
+	for i := 0; i < n; i++ {
+		sel = append(sel, int32(i))
+	}
+	return sel
+}
+
+// swarConsts returns the per-lane LSB and MSB broadcast masks for a lane
+// width (the "haszero"/"hasless" word-probe constants).
+func swarConsts(width uint8) (lo, hi uint64) {
+	lane := uint64(1)
+	for sh := uint(width); sh < 64; sh *= 2 {
+		lane |= lane << sh
+	}
+	return lane, lane << (width - 1)
+}
+
+// selectCodeEQ appends every position whose packed code equals target.
+// Whole words are skipped via the haszero probe on word XOR broadcast:
+// unused trailing lanes can only produce false positives (a probe hit on a
+// word with no real match), never a miss, and the per-lane scan is bounded
+// by n — so probes are exact where it matters.
+func (p *IntPage) selectCodeEQ(target uint64, sel []int32) []int32 {
+	per := 64 / int(p.width)
+	if p.width == 1 {
+		// 1-bit lanes: a word has a match iff it isn't all-zero (target 1)
+		// or isn't all-one (target 0); the generic haszero probe needs
+		// lanes ≥ 2 bits, so probe directly.
+		for w, word := range p.words {
+			if target == 1 && word == 0 {
+				continue
+			}
+			sel = p.scanWordEQ(w, per, target, sel)
+		}
+		return sel
+	}
+	lo, hi := swarConsts(p.width)
+	bcast := target * lo
+	for w, word := range p.words {
+		x := word ^ bcast
+		if (x-lo)&^x&hi == 0 {
+			continue // no lane equals target in this word
+		}
+		sel = p.scanWordEQ(w, per, target, sel)
+	}
+	return sel
+}
+
+func (p *IntPage) scanWordEQ(w, per int, target uint64, sel []int32) []int32 {
+	mask := uint64(1)<<p.width - 1
+	word := p.words[w]
+	end := min((w+1)*per, p.n)
+	for i := w * per; i < end; i++ {
+		if word>>(uint(i%per)*uint(p.width))&mask == target {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// selectCodeLT appends every position whose packed code is below t.
+// When t fits the hasless probe's validity range (t ≤ 2^(width-1)), whole
+// words with no lane below t are skipped before any lane is unpacked.
+func (p *IntPage) selectCodeLT(t uint64, sel []int32) []int32 {
+	per := 64 / int(p.width)
+	mask := uint64(1)<<p.width - 1
+	probe := p.width >= 2 && t <= uint64(1)<<(p.width-1)
+	var lo, hi, bcast uint64
+	if probe {
+		lo, hi = swarConsts(p.width)
+		bcast = t * lo
+	}
+	for w, word := range p.words {
+		if probe && (word-bcast)&^word&hi == 0 {
+			continue // no lane below t in this word
+		}
+		end := min((w+1)*per, p.n)
+		for i := w * per; i < end; i++ {
+			if word>>(uint(i%per)*uint(p.width))&mask < t {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel
+}
+
+// SelectFn is the closure fallback for predicates with no structured form
+// (e.g. the SamplePatients modulus). The closure still runs once per
+// dictionary entry or run where the encoding allows.
+func (p *IntPage) SelectFn(f func(int64) bool, sel []int32) []int32 {
+	switch p.enc {
+	case RLE:
+		start := int32(0)
+		for r, v := range p.runVals {
+			end := p.runEnds[r]
+			if f(v) {
+				for i := start; i < end; i++ {
+					sel = append(sel, i)
+				}
+			}
+			start = end
+		}
+	case Dict:
+		match := make([]bool, len(p.dict))
+		for c, v := range p.dict {
+			match[c] = f(v)
+		}
+		for i := 0; i < p.n; i++ {
+			if match[lane(p.words, i, p.width)] {
+				sel = append(sel, int32(i))
+			}
+		}
+	case Packed:
+		for i := 0; i < p.n; i++ {
+			if f(p.ref + int64(lane(p.words, i, p.width))) {
+				sel = append(sel, int32(i))
+			}
+		}
+	default:
+		for i, v := range p.raw {
+			if f(v) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel
+}
+
+// Refine filters an existing ascending selection in place, keeping
+// positions whose value satisfies f.
+func (p *IntPage) Refine(f func(int64) bool, sel []int32) []int32 {
+	out := sel[:0]
+	switch p.enc {
+	case RLE:
+		r := 0
+		for _, i := range sel {
+			for p.runEnds[r] <= i {
+				r++
+			}
+			if f(p.runVals[r]) {
+				out = append(out, i)
+			}
+		}
+	default:
+		for _, i := range sel {
+			if f(p.At(int(i))) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// RefinePred filters an existing ascending selection in place by a
+// structured predicate, testing dictionary entries and runs once.
+func (p *IntPage) RefinePred(pred Pred, sel []int32) []int32 {
+	if len(sel) == 0 {
+		return sel
+	}
+	switch pred.Op {
+	case LT:
+		if p.minVal >= pred.Val {
+			return sel[:0]
+		}
+		if p.maxVal < pred.Val {
+			return sel
+		}
+	case EQ:
+		if pred.Val < p.minVal || pred.Val > p.maxVal {
+			return sel[:0]
+		}
+		if p.minVal == p.maxVal {
+			return sel
+		}
+	}
+	if p.enc == Dict {
+		match := make([]bool, len(p.dict))
+		for c, v := range p.dict {
+			match[c] = pred.Eval(v)
+		}
+		out := sel[:0]
+		for _, i := range sel {
+			if match[lane(p.words, int(i), p.width)] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return p.Refine(pred.Eval, sel)
+}

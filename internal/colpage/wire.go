@@ -1,0 +1,379 @@
+package colpage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire format (DESIGN.md §15): pages are persisted as records inside 8 KiB
+// storage page frames by the rowstore columnar sidecar, and round-tripped
+// by the codec fuzzers.
+//
+//	int page:   kind(1) enc(1) uvarint(n) payload
+//	  Raw:    n × value(8, LE two's complement)
+//	  RLE:    uvarint(runs), runs × (value(8) end(4))
+//	  Dict:   uvarint(card), card × value(8), width(1), words × 8
+//	  Packed: ref(8), width(1), words × 8
+//	float page: kind(1) enc(1) uvarint(n) payload
+//	  Raw:    n × bits(8)
+//	  RLE:    uvarint(runs), runs × (bits(8) end(4))
+const (
+	kindInt   = 0x69 // 'i'
+	kindFloat = 0x66 // 'f'
+)
+
+// ErrCorrupt reports a page blob that does not parse.
+var ErrCorrupt = errors.New("colpage: corrupt page")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// AppendEncoded serializes the page, appending to dst.
+func (p *IntPage) AppendEncoded(dst []byte) []byte {
+	dst = append(dst, kindInt, byte(p.enc))
+	dst = binary.AppendUvarint(dst, uint64(p.n))
+	switch p.enc {
+	case RLE:
+		dst = binary.AppendUvarint(dst, uint64(len(p.runVals)))
+		for r, v := range p.runVals {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(p.runEnds[r]))
+		}
+	case Dict:
+		dst = binary.AppendUvarint(dst, uint64(len(p.dict)))
+		for _, v := range p.dict {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+		dst = append(dst, p.width)
+		for _, w := range p.words {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+	case Packed:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(p.ref))
+		dst = append(dst, p.width)
+		for _, w := range p.words {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+	default:
+		for _, v := range p.raw {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	}
+	return dst
+}
+
+// AppendEncoded serializes the page, appending to dst.
+func (p *FloatPage) AppendEncoded(dst []byte) []byte {
+	dst = append(dst, kindFloat, byte(p.enc))
+	dst = binary.AppendUvarint(dst, uint64(p.n))
+	if p.enc == RLE {
+		dst = binary.AppendUvarint(dst, uint64(len(p.runBits)))
+		for r, b := range p.runBits {
+			dst = binary.LittleEndian.AppendUint64(dst, b)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(p.runEnds[r]))
+		}
+		return dst
+	}
+	for _, v := range p.raw {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// reader is a bounds-checked little-endian cursor over a page blob.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, corrupt("truncated at %d", r.off)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, corrupt("truncated at %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, corrupt("truncated at %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, sz := binary.Uvarint(r.data[r.off:])
+	if sz <= 0 {
+		return 0, corrupt("bad uvarint at %d", r.off)
+	}
+	r.off += sz
+	return v, nil
+}
+
+// maxPageRows bounds the row count a parsed page may claim, so a corrupt
+// header cannot drive a huge allocation.
+const maxPageRows = 1 << 24
+
+func (r *reader) header(kind byte) (Encoding, int, error) {
+	k, err := r.byte()
+	if err != nil {
+		return 0, 0, err
+	}
+	if k != kind {
+		return 0, 0, corrupt("wrong page kind %#x", k)
+	}
+	e, err := r.byte()
+	if err != nil {
+		return 0, 0, err
+	}
+	if Encoding(e) > Packed {
+		return 0, 0, corrupt("unknown encoding %d", e)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if n > maxPageRows {
+		return 0, 0, corrupt("page claims %d rows", n)
+	}
+	return Encoding(e), int(n), nil
+}
+
+// runEnds parses and validates an RLE end-position array: strictly
+// increasing, ending exactly at n.
+func (r *reader) runLen(n int) (int, error) {
+	runs, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if int(runs) > n || (n > 0 && runs == 0) {
+		return 0, corrupt("%d runs for %d rows", runs, n)
+	}
+	return int(runs), nil
+}
+
+func validRuns(ends []int32, n int) error {
+	prev := int32(0)
+	for _, e := range ends {
+		if e <= prev {
+			return corrupt("run ends not increasing")
+		}
+		prev = e
+	}
+	if len(ends) > 0 && int(prev) != n || len(ends) == 0 && n != 0 {
+		return corrupt("runs cover %d of %d rows", prev, n)
+	}
+	return nil
+}
+
+// ParseInt decodes an int page blob produced by AppendEncoded. It never
+// panics on corrupt input.
+func ParseInt(data []byte) (*IntPage, error) {
+	r := &reader{data: data}
+	enc, n, err := r.header(kindInt)
+	if err != nil {
+		return nil, err
+	}
+	p := &IntPage{enc: enc, n: n}
+	switch enc {
+	case RLE:
+		runs, err := r.runLen(n)
+		if err != nil {
+			return nil, err
+		}
+		p.runVals = make([]int64, runs)
+		p.runEnds = make([]int32, runs)
+		for i := range p.runVals {
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			e, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			p.runVals[i], p.runEnds[i] = int64(v), int32(e)
+		}
+		if err := validRuns(p.runEnds, n); err != nil {
+			return nil, err
+		}
+	case Dict:
+		card, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if card == 0 && n > 0 || card > dictBudget {
+			return nil, corrupt("dictionary of %d entries", card)
+		}
+		p.dict = make([]int64, card)
+		for i := range p.dict {
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			p.dict[i] = int64(v)
+		}
+		if p.width, p.words, err = r.packed(n); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if c := lane(p.words, i, p.width); c >= card {
+				return nil, corrupt("code %d out of dictionary %d", c, card)
+			}
+		}
+	case Packed:
+		ref, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		p.ref = int64(ref)
+		if p.width, p.words, err = r.packed(n); err != nil {
+			return nil, err
+		}
+	default:
+		p.raw = make([]int64, n)
+		for i := range p.raw {
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			p.raw[i] = int64(v)
+		}
+	}
+	if r.off != len(data) {
+		return nil, corrupt("%d trailing bytes", len(data)-r.off)
+	}
+	p.resetZones()
+	return p, nil
+}
+
+// packed parses a width byte plus the packed word payload for n lanes.
+func (r *reader) packed(n int) (uint8, []uint64, error) {
+	width, err := r.byte()
+	if err != nil {
+		return 0, nil, err
+	}
+	switch width {
+	case 1, 2, 4, 8, 16, 32:
+	default:
+		return 0, nil, corrupt("bad lane width %d", width)
+	}
+	per := 64 / int(width)
+	words := make([]uint64, (n+per-1)/per)
+	for i := range words {
+		w, err := r.u64()
+		if err != nil {
+			return 0, nil, err
+		}
+		words[i] = w
+	}
+	return width, words, nil
+}
+
+// resetZones recomputes min/max after a parse (the wire format does not
+// carry them).
+func (p *IntPage) resetZones() {
+	if p.n == 0 {
+		return
+	}
+	first := true
+	upd := func(v int64) {
+		if first || v < p.minVal {
+			p.minVal = v
+		}
+		if first || v > p.maxVal {
+			p.maxVal = v
+		}
+		first = false
+	}
+	switch p.enc {
+	case RLE:
+		for _, v := range p.runVals {
+			upd(v)
+		}
+	case Dict:
+		// Only codes in use bound the zone; unused dictionary entries
+		// (possible after a parse) must not widen it.
+		used := make([]bool, len(p.dict))
+		for i := 0; i < p.n; i++ {
+			used[lane(p.words, i, p.width)] = true
+		}
+		for c, v := range p.dict {
+			if used[c] {
+				upd(v)
+			}
+		}
+	case Packed:
+		for i := 0; i < p.n; i++ {
+			upd(p.ref + int64(lane(p.words, i, p.width)))
+		}
+	default:
+		for _, v := range p.raw {
+			upd(v)
+		}
+	}
+}
+
+// ParseFloat decodes a float page blob produced by AppendEncoded. It never
+// panics on corrupt input.
+func ParseFloat(data []byte) (*FloatPage, error) {
+	r := &reader{data: data}
+	enc, n, err := r.header(kindFloat)
+	if err != nil {
+		return nil, err
+	}
+	if enc != Raw && enc != RLE {
+		return nil, corrupt("float encoding %d", enc)
+	}
+	p := &FloatPage{enc: enc, n: n}
+	if enc == RLE {
+		runs, err := r.runLen(n)
+		if err != nil {
+			return nil, err
+		}
+		p.runBits = make([]uint64, runs)
+		p.runEnds = make([]int32, runs)
+		for i := range p.runBits {
+			b, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			e, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			p.runBits[i], p.runEnds[i] = b, int32(e)
+		}
+		if err := validRuns(p.runEnds, n); err != nil {
+			return nil, err
+		}
+	} else {
+		p.raw = make([]float64, n)
+		for i := range p.raw {
+			b, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			p.raw[i] = math.Float64frombits(b)
+		}
+	}
+	if r.off != len(data) {
+		return nil, corrupt("%d trailing bytes", len(data)-r.off)
+	}
+	return p, nil
+}

@@ -27,12 +27,19 @@ func TestBuildIntColumnEncodings(t *testing.T) {
 	if BuildIntColumn(lowCard).Encoding() != EncDict {
 		t.Fatal("low-cardinality column should dict-encode")
 	}
+	narrow := make([]int64, 1000)
+	for i := range narrow {
+		narrow[i] = int64(i * 2654435761 % 1000003)
+	}
+	if BuildIntColumn(narrow).Encoding() != EncPacked {
+		t.Fatal("narrow-domain column should bit-pack")
+	}
 	random := make([]int64, 1000)
 	for i := range random {
-		random[i] = int64(i * 2654435761 % 1000003)
+		random[i] = int64(i*2654435761%1000003) << 41 // spread past 32 packed bits
 	}
 	if BuildIntColumn(random).Encoding() != EncRaw {
-		t.Fatal("high-cardinality column should stay raw")
+		t.Fatal("wide high-cardinality column should stay raw")
 	}
 }
 

@@ -1,231 +1,97 @@
 // Package colstore is the "popular column store" configuration: tables are
-// typed column segments with lightweight compression (run-length and
-// dictionary encoding), and operators are vectorized over selection vectors
-// with late materialization. Like the paper's configurations 4–5 it runs in
-// two analytics modes: exporting to an external R (text COPY) or calling R
-// through an in-process UDF interface. Float columns are stored as plain
-// aligned []float64 and can be handed to the kernels as zero-copy column
-// views (FloatView); decoding through Materialize is the slow path kept for
-// the compressed integer columns and the -zerocopy=false ablation.
+// typed column segments compressed as internal/colpage pages (run-length,
+// dictionary, and bit-packed frame-of-reference encodings), and operators
+// are vectorized over selection vectors with late materialization.
+// Structured predicates are pushed down to the encoded form (DESIGN.md
+// §15); the -compress=false ablation falls back to decode-then-filter.
+// Like the paper's configurations 4–5 it runs in two analytics modes:
+// exporting to an external R (text COPY) or calling R through an
+// in-process UDF interface. Float columns are stored as plain aligned
+// []float64 and can be handed to the kernels as zero-copy column views
+// (FloatView); decoding through Materialize is the slow path kept for the
+// compressed integer columns and the -zerocopy=false ablation.
 package colstore
 
 import (
 	"fmt"
 
+	"github.com/genbase/genbase/internal/colpage"
 	"github.com/genbase/genbase/internal/linalg"
 )
 
-// Encoding names an integer column's physical layout.
-type Encoding uint8
+// Encoding names an integer column's physical layout (the colpage
+// encodings).
+type Encoding = colpage.Encoding
 
 // Column encodings.
 const (
-	EncRaw Encoding = iota
-	EncRLE
-	EncDict
+	EncRaw    = colpage.Raw
+	EncRLE    = colpage.RLE
+	EncDict   = colpage.Dict
+	EncPacked = colpage.Packed
 )
 
-// IntColumn is a compressed immutable int64 column.
+// IntColumn is a compressed immutable int64 column: one colpage segment
+// spanning the whole table (colstore tables are loaded once and never
+// split, so segment == column).
 type IntColumn struct {
-	enc Encoding
-	n   int
-
-	raw []int64
-
-	// RLE: runs of identical values.
-	runVals []int64
-	runEnds []int32 // exclusive prefix ends; runEnds[len-1] == n
-
-	// Dict: small-cardinality values.
-	dict  []int64
-	codes []uint8
+	page *colpage.IntPage
 }
 
-// BuildIntColumn picks an encoding automatically: RLE when the data has few
-// runs (sorted or grouped columns), dictionary when cardinality ≤ 256,
-// otherwise raw.
+// BuildIntColumn compresses the values, picking the smallest of the
+// colpage encodings.
 func BuildIntColumn(vals []int64) *IntColumn {
-	n := len(vals)
-	c := &IntColumn{n: n}
-	if n == 0 {
-		c.enc = EncRaw
-		return c
-	}
-	runs := 1
-	for i := 1; i < n; i++ {
-		if vals[i] != vals[i-1] {
-			runs++
-		}
-	}
-	if runs <= n/4 {
-		c.enc = EncRLE
-		c.runVals = make([]int64, 0, runs)
-		c.runEnds = make([]int32, 0, runs)
-		for i := 0; i < n; {
-			j := i + 1
-			for j < n && vals[j] == vals[i] {
-				j++
-			}
-			c.runVals = append(c.runVals, vals[i])
-			c.runEnds = append(c.runEnds, int32(j))
-			i = j
-		}
-		return c
-	}
-	distinct := make(map[int64]uint8)
-	for _, v := range vals {
-		if _, ok := distinct[v]; !ok {
-			if len(distinct) == 256 {
-				distinct = nil
-				break
-			}
-			distinct[v] = uint8(len(distinct))
-		}
-	}
-	if distinct != nil {
-		c.enc = EncDict
-		c.dict = make([]int64, len(distinct))
-		for v, code := range distinct {
-			c.dict[code] = v
-		}
-		c.codes = make([]uint8, n)
-		for i, v := range vals {
-			c.codes[i] = distinct[v]
-		}
-		return c
-	}
-	c.enc = EncRaw
-	c.raw = make([]int64, n)
-	copy(c.raw, vals)
-	return c
+	return &IntColumn{page: colpage.BuildInt(vals)}
 }
 
 // Len returns the row count.
-func (c *IntColumn) Len() int { return c.n }
+func (c *IntColumn) Len() int { return c.page.Len() }
 
 // Encoding returns the physical layout chosen at build time.
-func (c *IntColumn) Encoding() Encoding { return c.enc }
+func (c *IntColumn) Encoding() Encoding { return c.page.Encoding() }
 
 // At decodes one value (row access; the vectorized paths below are the fast
 // ones).
-func (c *IntColumn) At(i int) int64 {
-	switch c.enc {
-	case EncRaw:
-		return c.raw[i]
-	case EncDict:
-		return c.dict[c.codes[i]]
-	default:
-		// Binary search the run containing i.
-		lo, hi := 0, len(c.runEnds)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if int32(i) < c.runEnds[mid] {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
-		return c.runVals[lo]
-	}
+func (c *IntColumn) At(i int) int64 { return c.page.At(i) }
+
+// SelectPred appends to sel the positions where the structured predicate
+// holds, evaluated directly on the encoded form — dictionary-code
+// equality, RLE run skipping, packed-word range tests.
+func (c *IntColumn) SelectPred(pred colpage.Pred, sel []int32) []int32 {
+	return c.page.Select(pred, sel)
 }
 
-// Select appends to sel the positions where pred holds, operating directly
-// on the compressed form (whole runs and dictionary codes are tested once).
+// Select appends to sel the positions where pred holds, operating on the
+// compressed form (whole runs and dictionary codes are tested once).
 func (c *IntColumn) Select(pred func(int64) bool, sel []int32) []int32 {
-	switch c.enc {
-	case EncRaw:
-		for i, v := range c.raw {
-			if pred(v) {
-				sel = append(sel, int32(i))
-			}
-		}
-	case EncDict:
-		match := make([]bool, len(c.dict))
-		any := false
-		for code, v := range c.dict {
-			if pred(v) {
-				match[code] = true
-				any = true
-			}
-		}
-		if !any {
-			return sel
-		}
-		for i, code := range c.codes {
-			if match[code] {
-				sel = append(sel, int32(i))
-			}
-		}
-	default:
-		start := int32(0)
-		for r, v := range c.runVals {
-			end := c.runEnds[r]
-			if pred(v) {
-				for i := start; i < end; i++ {
-					sel = append(sel, i)
-				}
-			}
-			start = end
-		}
-	}
-	return sel
+	return c.page.SelectFn(pred, sel)
 }
 
 // SelectRefine keeps only the positions of sel where pred holds (applying a
 // conjunct to an existing selection vector).
 func (c *IntColumn) SelectRefine(pred func(int64) bool, sel []int32) []int32 {
-	out := sel[:0]
-	for _, i := range sel {
-		if pred(c.At(int(i))) {
-			out = append(out, i)
-		}
-	}
-	return out
+	return c.page.Refine(pred, sel)
+}
+
+// SelectRefinePred is SelectRefine for a structured predicate, testing
+// dictionary entries and run values once.
+func (c *IntColumn) SelectRefinePred(pred colpage.Pred, sel []int32) []int32 {
+	return c.page.RefinePred(pred, sel)
 }
 
 // Gather decodes the values at the selected positions.
 func (c *IntColumn) Gather(sel []int32, out []int64) []int64 {
-	out = out[:0]
-	for _, i := range sel {
-		out = append(out, c.At(int(i)))
-	}
-	return out
+	return c.page.Gather(sel, out[:0])
 }
 
 // Materialize decodes the whole column.
 func (c *IntColumn) Materialize() []int64 {
-	out := make([]int64, c.n)
-	switch c.enc {
-	case EncRaw:
-		copy(out, c.raw)
-	case EncDict:
-		for i, code := range c.codes {
-			out[i] = c.dict[code]
-		}
-	default:
-		start := int32(0)
-		for r, v := range c.runVals {
-			for i := start; i < c.runEnds[r]; i++ {
-				out[i] = v
-			}
-			start = c.runEnds[r]
-		}
-	}
-	return out
+	return c.page.AppendTo(make([]int64, 0, c.page.Len()))
 }
 
-// CompressedBytes approximates the column's storage footprint, for the
+// CompressedBytes is the column's encoded storage footprint, for the
 // compression ablation bench.
-func (c *IntColumn) CompressedBytes() int {
-	switch c.enc {
-	case EncRaw:
-		return 8 * len(c.raw)
-	case EncDict:
-		return 8*len(c.dict) + len(c.codes)
-	default:
-		return 12 * len(c.runVals)
-	}
-}
+func (c *IntColumn) CompressedBytes() int { return c.page.EncodedBytes() }
 
 // Table is a named collection of equal-length columns.
 type Table struct {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/genbase/genbase/internal/analytics"
 	"github.com/genbase/genbase/internal/bicluster"
+	"github.com/genbase/genbase/internal/colpage"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/linalg"
 	"github.com/genbase/genbase/internal/plan"
@@ -25,10 +26,13 @@ func (e *Engine) Capabilities() plan.OpSet { return plan.AllOps() }
 func (e *Engine) Dims() (int, int) { return e.numPatients, e.numGenes }
 
 // SelectIDs implements plan.Physical: the first predicate runs as a
-// vectorized select directly on the compressed column (per dictionary code
-// or run, not per row), later conjuncts refine the selection vector, and the
-// surviving positions gather the id column. Selection vectors are
-// query-local (DESIGN.md §11).
+// vectorized select directly on the compressed column — with structured
+// predicates pushed to the encoded form (dictionary-code equality, RLE run
+// skipping, packed-word range tests; DESIGN.md §15) — later conjuncts
+// refine the selection vector, and the surviving positions gather the id
+// column. The -compress=false ablation decodes every predicate column and
+// filters row by row instead. Selection vectors are query-local
+// (DESIGN.md §11).
 func (e *Engine) SelectIDs(_ context.Context, table string, preds []plan.Pred) ([]int64, error) {
 	var t *Table
 	var idCol string
@@ -41,14 +45,47 @@ func (e *Engine) SelectIDs(_ context.Context, table string, preds []plan.Pred) (
 		return nil, fmt.Errorf("colstore: no physical select over table %q", table)
 	}
 	var sel []int32
+	if !engine.CompressionEnabled() {
+		// Decode-then-filter baseline: materialize each predicate column.
+		for i, p := range preds {
+			vals := t.Int(p.Col).Materialize()
+			if i == 0 {
+				for j, v := range vals {
+					if p.Eval(v) {
+						sel = append(sel, int32(j))
+					}
+				}
+				continue
+			}
+			out := sel[:0]
+			for _, j := range sel {
+				if p.Eval(vals[j]) {
+					out = append(out, j)
+				}
+			}
+			sel = out
+		}
+		return t.Int(idCol).Gather(sel, nil), nil
+	}
 	for i, p := range preds {
+		cp := pushdownPred(p)
 		if i == 0 {
-			sel = t.Int(p.Col).Select(p.Eval, nil)
+			sel = t.Int(p.Col).SelectPred(cp, nil)
 		} else {
-			sel = t.Int(p.Col).SelectRefine(p.Eval, sel)
+			sel = t.Int(p.Col).SelectRefinePred(cp, sel)
 		}
 	}
 	return t.Int(idCol).Gather(sel, nil), nil
+}
+
+// pushdownPred translates a planner predicate into the colpage form (both
+// carry exactly LT/EQ against an int64).
+func pushdownPred(p plan.Pred) colpage.Pred {
+	op := colpage.LT
+	if p.Op == plan.CmpEQ {
+		op = colpage.EQ
+	}
+	return colpage.Pred{Op: op, Val: p.Val}
 }
 
 // ScanFloats implements plan.Physical. The full drug-response projection is
@@ -109,7 +146,20 @@ func (e *Engine) SampleMeans(ctx context.Context, step int) ([]float64, int, err
 		return sums, sampled, nil
 	}
 	step64 := int64(step)
-	sel := e.micro.Int("patientid").Select(func(v int64) bool { return v%step64 == 0 }, nil)
+	sample := func(v int64) bool { return v%step64 == 0 }
+	var sel []int32
+	if engine.CompressionEnabled() {
+		// Encoded-space sample: the modulus runs once per patientid run
+		// (the column is loaded patient-major, so runs are long) and
+		// filtered-out rows are never decoded.
+		sel = e.micro.Int("patientid").Select(sample, nil)
+	} else {
+		for i, v := range e.micro.Int("patientid").Materialize() {
+			if sample(v) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
 	gc := e.micro.Int("geneid")
 	vals := e.micro.Float("value")
 	counts := make([]int64, e.numGenes)
@@ -226,7 +276,10 @@ func (e *Engine) PhysicalName(k plan.OpKind) string {
 	}
 	switch k {
 	case plan.OpSelectPred:
-		return "vectorized select on compressed columns"
+		if engine.CompressionEnabled() {
+			return "encoded-page pushdown (dict-code EQ, run skip, packed-word LT)"
+		}
+		return "decode-then-filter column scan"
 	case plan.OpScanTable:
 		return "column projection"
 	case plan.OpSamplePatients:

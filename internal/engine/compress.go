@@ -1,0 +1,23 @@
+package engine
+
+import "sync/atomic"
+
+// The compressed-scan ablation knob (DESIGN.md §15). When enabled — the
+// default — rowstore, colstore, and arraydb evaluate structured predicates
+// directly on compressed column pages (internal/colpage): dictionary-code
+// equality, RLE run skipping, packed-word range tests. When disabled they
+// fall back to decode-then-filter over materialized values. Answers are
+// bitwise identical either way; only the scan path changes.
+// genbase-bench -compress=false and BENCH_scan.json use the knob to keep
+// the decode-then-filter baseline measurable, mirroring -zerocopy.
+
+// compressOff is inverted storage so the zero value of the package means
+// "enabled by default".
+var compressOff atomic.Bool
+
+// SetCompression toggles the compressed-scan path process-wide.
+func SetCompression(on bool) { compressOff.Store(!on) }
+
+// CompressionEnabled reports whether engines should push predicates down
+// to the encoded column pages.
+func CompressionEnabled() bool { return !compressOff.Load() }

@@ -96,6 +96,40 @@ func (b *ColumnBatch) Reset() {
 	b.n = 0
 }
 
+// AppendInts bulk-appends decoded values to int column col. Pair with
+// appends on the other columns and one GrowRows call per batch so the batch
+// stays rectangular — this is the columnar load path (a compressed segment
+// decodes straight into the batch, no per-row DecodeColumns).
+func (b *ColumnBatch) AppendInts(col int, vals []int64) {
+	b.Ints[col] = append(b.Ints[col], vals...)
+}
+
+// AppendFloats bulk-appends decoded values to float column col.
+func (b *ColumnBatch) AppendFloats(col int, vals []float64) {
+	b.Floats[col] = append(b.Floats[col], vals...)
+}
+
+// GrowRows commits n rows appended column-wise via AppendInts/AppendFloats,
+// verifying every column reached exactly the new row count.
+func (b *ColumnBatch) GrowRows(n int) error {
+	b.n += n
+	for i, col := range b.Schema {
+		var got int
+		switch col.Kind {
+		case KindInt64:
+			got = len(b.Ints[i])
+		case KindFloat64:
+			got = len(b.Floats[i])
+		case KindString:
+			got = len(b.Strs[i])
+		}
+		if got != b.n {
+			return fmt.Errorf("relation: column %d has %d rows after grow, batch has %d", i, got, b.n)
+		}
+	}
+	return nil
+}
+
 // DecodeColumns appends one encoded record's values to the batch's typed
 // columns, decoding directly from the page bytes. This is the columnar
 // counterpart of DecodeRow: same wire format, no Value boxing. On error the

@@ -32,6 +32,9 @@ type Engine struct {
 	dir  string
 	db   *DB
 	glue analytics.Glue
+	// sidecars are the compressed columnar twins (sidecar.go) of the scan
+	// tables, built at Load so the -compress knob can flip at query time.
+	sidecars map[string]*tableSidecar
 
 	numPatients, numGenes, numTerms int
 }
@@ -75,11 +78,27 @@ func (e *Engine) Load(ds *datagen.Dataset) error {
 	e.numPatients = ds.Dims.Patients
 	e.numGenes = ds.Dims.Genes
 	e.numTerms = ds.Dims.GOTerms
+	// Build the compressed columnar sidecars unconditionally: the -compress
+	// knob is consulted at query time, so both settings must be servable
+	// from one loaded engine.
+	e.sidecars = make(map[string]*tableSidecar)
+	for _, name := range []string{"microarray", "patients", "genes"} {
+		sc, err := buildTableSidecar(context.Background(), db, name)
+		if err != nil {
+			e.Close()
+			return err
+		}
+		e.sidecars[name] = sc
+	}
 	return nil
 }
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error {
+	for _, sc := range e.sidecars {
+		sc.remove()
+	}
+	e.sidecars = nil
 	if e.db == nil {
 		return nil
 	}

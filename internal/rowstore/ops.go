@@ -49,12 +49,18 @@ func (e *Engine) tableMeta(table string) (*TableHandle, relation.Schema, string,
 	}
 }
 
-// SelectIDs implements plan.Physical: σ(pred)(table) as a scan → filter →
-// project → sort Volcano plan, returning ascending ids.
+// SelectIDs implements plan.Physical: σ(pred)(table), returning ascending
+// ids. With compression on the predicates push down to the columnar
+// sidecar's encoded segments (sidecar.go); the -compress=false ablation and
+// the no-predicate case run the historical scan → filter → project → sort
+// Volcano plan.
 func (e *Engine) SelectIDs(ctx context.Context, table string, preds []planir.Pred) ([]int64, error) {
 	t, schema, idName, err := e.tableMeta(table)
 	if err != nil {
 		return nil, err
+	}
+	if sc := e.sidecars[t.Name]; sc != nil && engine.CompressionEnabled() && len(preds) > 0 {
+		return selectIDsCompressed(ctx, sc, idName, preds)
 	}
 	cols := make([]int, len(preds))
 	for i, p := range preds {
@@ -228,6 +234,9 @@ func (e *Engine) PhysicalName(k planir.OpKind) string {
 	}
 	switch k {
 	case planir.OpSelectPred:
+		if engine.CompressionEnabled() {
+			return "sidecar-segment pushdown (dict-code EQ, run skip, packed-word LT)"
+		}
 		return "Volcano scan-filter-sort plan"
 	case planir.OpScanTable:
 		return "heap projection scan"

@@ -158,8 +158,15 @@ func (e *Engine) pivotJoin(ctx context.Context, geneIDs, patientIDs []int64) (*l
 			}
 			return nil
 		}
+		// Access-path choice: bitmap fetch when the patient set is selective
+		// (same rule as the Volcano plan); otherwise a full scan — off the
+		// compressed sidecar segments when the knob is on, else the dense
+		// heap decode. The fill is per-cell, so all paths produce the same
+		// matrix bit for bit.
 		if idx := micro.Index("patientid"); idx != nil && len(patientIDs)*10 < e.numPatients {
 			err = scanRIDsColumnar(ctx, micro, idx.CollectRIDs(patientIDs), fill)
+		} else if sc := e.sidecars["microarray"]; sc != nil && engine.CompressionEnabled() {
+			err = scanColumnarCompressed(ctx, sc, fill)
 		} else {
 			err = scanColumnar(ctx, micro, fill)
 		}
@@ -216,13 +223,18 @@ func (e *Engine) drugResponses(ctx context.Context) ([]float64, error) {
 	respCol := PatientsSchema.MustColIndex("drugresponse")
 	y := make([]float64, e.numPatients)
 	if engine.ZeroCopyEnabled() {
-		err = scanColumnar(ctx, pats, func(b *relation.ColumnBatch) error {
+		fill := func(b *relation.ColumnBatch) error {
 			ids, resp := b.Ints[idCol], b.Floats[respCol]
 			for r, id := range ids {
 				y[id] = resp[r]
 			}
 			return nil
-		})
+		}
+		if sc := e.sidecars["patients"]; sc != nil && engine.CompressionEnabled() {
+			err = scanColumnarCompressed(ctx, sc, fill)
+		} else {
+			err = scanColumnar(ctx, pats, fill)
+		}
 	} else {
 		err = Drain(&SeqScan{Ctx: ctx, Table: pats}, func(r relation.Row) error {
 			y[r[idCol].I] = r[respCol].F
@@ -246,13 +258,18 @@ func (e *Engine) geneFunctions(ctx context.Context) ([]int64, error) {
 	fnCol := GenesSchema.MustColIndex("function")
 	fns := make([]int64, e.numGenes)
 	if engine.ZeroCopyEnabled() {
-		err = scanColumnar(ctx, genes, func(b *relation.ColumnBatch) error {
+		fill := func(b *relation.ColumnBatch) error {
 			ids, fn := b.Ints[idCol], b.Ints[fnCol]
 			for r, id := range ids {
 				fns[id] = fn[r]
 			}
 			return nil
-		})
+		}
+		if sc := e.sidecars["genes"]; sc != nil && engine.CompressionEnabled() {
+			err = scanColumnarCompressed(ctx, sc, fill)
+		} else {
+			err = scanColumnar(ctx, genes, fill)
+		}
 	} else {
 		err = Drain(&SeqScan{Ctx: ctx, Table: genes}, func(r relation.Row) error {
 			fns[r[idCol].I] = r[fnCol].I
@@ -276,7 +293,21 @@ func (e *Engine) sampleMeans(ctx context.Context, step int) ([]float64, int, err
 	pCol := MicroarraySchema.MustColIndex("patientid")
 	vCol := MicroarraySchema.MustColIndex("expressionvalue")
 	means := make([]float64, e.numGenes)
-	if engine.ZeroCopyEnabled() {
+	if sc := e.sidecars["microarray"]; sc != nil && engine.CompressionEnabled() {
+		// Encoded-space sample: the modulus runs once per patientid run and
+		// filtered-out rows are never decoded (sidecar.go). Heap order is
+		// preserved, so sums match the decode paths below bit for bit.
+		sums := make([]float64, e.numGenes)
+		counts := make([]int64, e.numGenes)
+		if err := e.sampleSumsCompressed(ctx, step, sums, counts); err != nil {
+			return nil, 0, err
+		}
+		for j := range sums {
+			if counts[j] > 0 {
+				means[j] = sums[j] / float64(counts[j])
+			}
+		}
+	} else if engine.ZeroCopyEnabled() {
 		// Columnar filter + aggregate: per gene the contributions arrive in
 		// heap order, the same order the hash aggregate accumulated them, so
 		// sums and the final sum/count divisions are bitwise identical.

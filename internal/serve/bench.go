@@ -4,8 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
-	"sort"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -18,28 +17,51 @@ type Request struct {
 	Params engine.Params
 }
 
-// BenchOptions shapes one throughput measurement.
+// BenchOptions shapes one open-loop throughput measurement.
 type BenchOptions struct {
-	// Clients is the number of concurrent closed-loop clients (min 1).
+	// Clients is the worker pool draining the arrival queue (min 1) — the
+	// concurrency the served system is offered, matching the server's
+	// admission width in the sweeps.
 	Clients int
 	// Duration is the measurement window (default 1s).
 	Duration time.Duration
-	// Think is each client's idle time between queries — the "user reads the
-	// dashboard" gap. Zero means a tight closed loop, which saturates one
-	// core with a single client and therefore cannot show client scaling on
-	// small hosts; a small think time measures what the serving layer is
-	// for: overlapping many mostly-idle clients over shared compute.
-	Think time.Duration
+	// Rate is the offered load in arrivals per second (default 200). The
+	// arrival process is Poisson: inter-arrival gaps are exponential, drawn
+	// from a seeded generator, so the offered schedule is independent of how
+	// fast the system answers (open loop). A closed loop would wait for each
+	// answer before offering the next query, hiding queueing delay behind
+	// the slow requests themselves — the coordinated-omission trap.
+	Rate float64
+	// Queue bounds the arrival queue (default 2×Clients). An arrival that
+	// finds the queue full is dropped and counted, the way a load balancer
+	// sheds when a backlog passes its limit; latency is never recorded for
+	// dropped arrivals, but they keep the offered schedule on time.
+	Queue int
+	// Seed drives the arrival process (default 1). Fixed seed = identical
+	// offered schedule across systems under comparison.
+	Seed uint64
 }
 
-// BenchResult is one (server, client-count) throughput measurement.
+// BenchResult is one (server, client-count) open-loop measurement.
 type BenchResult struct {
 	System   string
 	Clients  int
 	Duration time.Duration // measured wall clock, not the requested duration
 	Queries  int64         // completed queries (cache hits included)
-	QPS      float64
-	P50, P99 time.Duration
+	QPS      float64       // completed throughput
+	Offered  int64         // arrivals generated (dropped included)
+	// OfferedQPS is the realized arrival rate — compare against QPS to see
+	// whether the system kept up with the offered load.
+	OfferedQPS float64
+	// Dropped counts arrivals rejected at the full client-side queue.
+	Dropped int64
+
+	// Latency is measured from each request's scheduled arrival time to its
+	// completion, so time spent waiting in the arrival queue and in the
+	// server's admission semaphore both count — what a caller of a loaded
+	// system experiences. P999 is the p99.9 SLO quantile; small windows
+	// report it Insufficient rather than passing off the max as a tail.
+	P50, P99, P999 Quantile
 
 	CacheHits    int64
 	PeakInFlight int64
@@ -53,34 +75,53 @@ type BenchResult struct {
 	Degraded int64
 }
 
-// Benchmark drives a server with closed-loop clients for roughly
-// opts.Duration: each client issues its next query opts.Think after the
-// previous one returns, walking the mix round-robin from a per-client offset
-// (so clients spread across the mix instead of stampeding one query). It
-// reports throughput and the client-observed latency distribution —
-// queueing delay in the admission semaphore counts, exactly what a caller
-// of a loaded system experiences; think time does not.
+// arrival is one scheduled request: latency is measured from Sched, not
+// from dequeue, so queue wait is part of the reported latency.
+type arrival struct {
+	req   Request
+	sched time.Time
+}
+
+// Benchmark drives a server with an open-loop Poisson arrival process for
+// roughly opts.Duration: a generator emits requests on a fixed seeded
+// schedule, walking the mix round-robin, into a bounded queue that
+// opts.Clients workers drain. Arrivals that find the queue full are dropped
+// (and counted) instead of stalling the schedule. Each completed request's
+// latency runs from its scheduled arrival to completion, and the
+// distribution accumulates in fixed-bucket histograms — no per-request
+// slice, no end-of-window sort — from which p50/p99/p99.9 are reported
+// with typed insufficient-sample markers.
 func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOptions) (BenchResult, error) {
 	if len(mix) == 0 {
 		return BenchResult{}, fmt.Errorf("serve: empty query mix")
 	}
-	clients := opts.Clients
-	if clients < 1 {
-		clients = 1
-	}
+	clients := max(opts.Clients, 1)
 	duration := opts.Duration
 	if duration <= 0 {
 		duration = time.Second
 	}
+	rate := opts.Rate
+	if rate <= 0 {
+		rate = 200
+	}
+	depth := opts.Queue
+	if depth <= 0 {
+		depth = 2 * clients
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
 	deadline := time.Now().Add(duration)
 	// The window deadline is carried by the context, so a query still running
 	// when the window closes is interrupted at its next operator boundary
-	// instead of overrunning the measurement (the old between-requests check
-	// let one slow query stretch the window arbitrarily).
+	// instead of overrunning the measurement.
 	bctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 
-	lats := make([][]time.Duration, clients)
+	queue := make(chan arrival, depth)
+	hists := make([]*Histogram, clients)
 	errs := make([]error, clients)
 	shed := make([]int64, clients)
 	deadlined := make([]int64, clients)
@@ -89,17 +130,14 @@ func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOption
 	wg.Add(clients)
 	start := time.Now()
 	for c := 0; c < clients; c++ {
+		hists[c] = &Histogram{}
 		go func(c int) {
 			defer wg.Done()
-			i := c % len(mix)
-			for time.Now().Before(deadline) {
+			for a := range queue {
 				if bctx.Err() != nil {
 					return
 				}
-				req := mix[i]
-				i = (i + 1) % len(mix)
-				qStart := time.Now()
-				res, _, err := srv.Run(bctx, req.Query, req.Params)
+				res, _, err := srv.Run(bctx, a.req.Query, a.req.Params)
 				if err != nil {
 					switch {
 					case bctx.Err() != nil:
@@ -119,17 +157,40 @@ func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOption
 				if res != nil && res.Degraded {
 					degraded[c]++
 				}
-				lats[c] = append(lats[c], time.Since(qStart))
-				if opts.Think > 0 {
-					select {
-					case <-time.After(opts.Think):
-					case <-bctx.Done():
-						return
-					}
-				}
+				hists[c].Record(time.Since(a.sched))
 			}
 		}(c)
 	}
+
+	// The generator: exponential gaps at the offered rate. It never blocks
+	// on the queue — a full queue drops the arrival, keeping the remaining
+	// schedule on time regardless of how slowly the system drains.
+	var offered, dropped int64
+	rng := rand.New(rand.NewPCG(seed, 0x67656e62617365)) // "genbase"
+	next := start
+	i := 0
+gen:
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if !next.Before(deadline) || bctx.Err() != nil {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-bctx.Done():
+				break gen
+			}
+		}
+		offered++
+		select {
+		case queue <- arrival{req: mix[i%len(mix)], sched: next}:
+		default:
+			dropped++
+		}
+		i++
+	}
+	close(queue)
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -138,17 +199,22 @@ func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOption
 			return BenchResult{}, err
 		}
 	}
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
+	all := &Histogram{}
+	for _, h := range hists {
+		all.Merge(h)
 	}
-	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	st := srv.Stats()
 	res := BenchResult{
 		System:       srv.Engine().Name(),
 		Clients:      clients,
 		Duration:     elapsed,
-		Queries:      int64(len(all)),
+		Queries:      all.Total(),
+		Offered:      offered,
+		OfferedQPS:   float64(offered) / elapsed.Seconds(),
+		Dropped:      dropped,
+		P50:          all.Quantile(0.50),
+		P99:          all.Quantile(0.99),
+		P999:         all.Quantile(0.999),
 		CacheHits:    st.CacheHits,
 		PeakInFlight: st.PeakInFlight,
 	}
@@ -157,29 +223,8 @@ func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOption
 		res.Deadlined += deadlined[c]
 		res.Degraded += degraded[c]
 	}
-	if len(all) > 0 {
-		res.QPS = float64(len(all)) / elapsed.Seconds()
-		res.P50 = percentile(all, 0.50)
-		res.P99 = percentile(all, 0.99)
+	if res.Queries > 0 {
+		res.QPS = float64(res.Queries) / elapsed.Seconds()
 	}
 	return res, nil
-}
-
-// percentile returns the p-quantile of sorted latencies by conventional
-// nearest-rank (ceil(p·n)−1): p50 of an odd count is the true median, and
-// p99 of a sample smaller than 100 is the true maximum rather than a value
-// short of the tail.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(p*float64(n))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= n {
-		idx = n - 1
-	}
-	return sorted[idx]
 }

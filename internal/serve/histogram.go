@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram: nanosecond values below 16
+// are exact, and above that each power-of-two octave splits into 16
+// geometric sub-buckets, bounding the relative error of any reported
+// quantile to 1/16 (~6%). Recording is one index computation and one
+// counter increment — no per-request slice append, no end-of-window sort —
+// so the p99.9 of a million-request window costs the same as the p50 of a
+// hundred. Buckets cover up to ~2⁶² ns (≈146 years); larger values clamp
+// into the last bucket.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+}
+
+// histBuckets spans values up to 2^62 ns: 16 exact buckets plus 16
+// sub-buckets for each octave 4..62.
+const histBuckets = 16 + (62-4+1)*16
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[histIdx(d)]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Merge folds other into h (per-worker histograms combine lock-free at the
+// end of a run).
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+}
+
+// histIdx maps a duration to its bucket.
+func histIdx(d time.Duration) int {
+	v := d.Nanoseconds()
+	if v < 16 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // v ∈ [2^e, 2^(e+1)), e ≥ 4
+	idx := 16 + (e-4)*16 + int((uint64(v)>>(e-4))&15)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketHigh is the bucket's inclusive upper edge — quantiles report it so
+// the estimate never understates the tail.
+func bucketHigh(idx int) time.Duration {
+	if idx < 16 {
+		return time.Duration(idx)
+	}
+	e := 4 + (idx-16)/16
+	sub := int64((idx - 16) % 16)
+	lo := int64(1)<<e + sub<<(e-4)
+	return time.Duration(lo + int64(1)<<(e-4) - 1)
+}
+
+// Quantile is one reported latency percentile. Insufficient marks a
+// percentile the sample count cannot resolve — the nearest-rank p-quantile
+// of fewer than ceil(1/(1−p)) samples is just the maximum, so reporting a
+// number would silently overstate what was measured (p99 needs ≥100
+// samples, p99.9 needs ≥1000). Value is 0 when Insufficient; consumers
+// must surface the marker, not the zero.
+type Quantile struct {
+	Value        time.Duration
+	Insufficient bool
+}
+
+// MinSamplesFor returns the smallest sample count whose nearest-rank
+// p-quantile is distinguishable from the maximum: ceil(1/(1−p)).
+func MinSamplesFor(p float64) int64 {
+	if p >= 1 {
+		return math.MaxInt64
+	}
+	return int64(math.Ceil(1 / (1 - p)))
+}
+
+// Quantile returns the nearest-rank p-quantile (ceil(p·n)-th smallest) of
+// the recorded distribution, or the Insufficient marker when fewer than
+// MinSamplesFor(p) observations were recorded.
+func (h *Histogram) Quantile(p float64) Quantile {
+	if h.total < MinSamplesFor(p) {
+		return Quantile{Insufficient: true}
+	}
+	rank := int64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return Quantile{Value: bucketHigh(i)}
+		}
+	}
+	return Quantile{Value: bucketHigh(histBuckets - 1)}
+}

@@ -273,18 +273,107 @@ func TestBenchmarkDriverCountsAndPercentiles(t *testing.T) {
 	eng := &stubEngine{name: "stub", delay: time.Millisecond}
 	srv := New(eng, Options{MaxConcurrent: 4, DisableCache: true})
 	mix := []Request{{Query: engine.Q1Regression, Params: engine.DefaultParams()}}
-	res, err := Benchmark(context.Background(), srv, mix, BenchOptions{Clients: 4, Duration: 100 * time.Millisecond})
+	res, err := Benchmark(context.Background(), srv, mix, BenchOptions{
+		Clients: 4, Duration: 200 * time.Millisecond, Rate: 2000, Seed: 7,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Queries == 0 || res.QPS <= 0 {
 		t.Fatalf("no throughput measured: %+v", res)
 	}
-	if res.P50 <= 0 || res.P99 < res.P50 {
+	if res.Offered < res.Queries || res.OfferedQPS <= 0 {
+		t.Fatalf("offered %d (%.0f/s) below completed %d", res.Offered, res.OfferedQPS, res.Queries)
+	}
+	if res.P50.Insufficient || res.P50.Value <= 0 {
+		t.Fatalf("p50 unresolved: %+v", res.P50)
+	}
+	if !res.P99.Insufficient && res.P99.Value < res.P50.Value {
 		t.Fatalf("bad percentiles: p50=%v p99=%v", res.P50, res.P99)
+	}
+	// ~400 completions cannot resolve a p99.9: the typed marker must be set
+	// instead of silently reporting the max.
+	if res.Queries < MinSamplesFor(0.999) && !res.P999.Insufficient {
+		t.Fatalf("p99.9 of %d samples reported as %v, want the insufficient marker", res.Queries, res.P999.Value)
 	}
 	if res.PeakInFlight > 4 {
 		t.Fatalf("peak in-flight %d > width 4", res.PeakInFlight)
+	}
+}
+
+// The arrival process is open-loop: when the workers cannot keep up, the
+// generator keeps its schedule and sheds at the bounded queue instead of
+// slowing down to the system's pace.
+func TestBenchmarkOpenLoopDropsAtBoundedQueue(t *testing.T) {
+	eng := &stubEngine{name: "stub", delay: 20 * time.Millisecond}
+	srv := New(eng, Options{MaxConcurrent: 1, DisableCache: true})
+	mix := []Request{{Query: engine.Q1Regression, Params: engine.DefaultParams()}}
+	res, err := Benchmark(context.Background(), srv, mix, BenchOptions{
+		Clients: 1, Duration: 200 * time.Millisecond, Rate: 2000, Queue: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered ~400 arrivals against a worker that completes ~10: the rest
+	// must surface as drops, not as a stretched schedule.
+	if res.Dropped == 0 {
+		t.Fatalf("overloaded open loop recorded no drops: %+v", res)
+	}
+	if res.Offered < 4*res.Queries {
+		t.Fatalf("offered %d barely above completed %d — the loop closed", res.Offered, res.Queries)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}, {0.999, 999 * time.Millisecond}} {
+		q := h.Quantile(tc.p)
+		if q.Insufficient {
+			t.Fatalf("p%g of 1000 samples marked insufficient", tc.p*100)
+		}
+		// Bucket edges bound the relative error to 1/16.
+		if q.Value < tc.want || float64(q.Value) > float64(tc.want)*(1+1.0/16) {
+			t.Errorf("p%g = %v, want within [%v, %v+6.25%%]", tc.p*100, q.Value, tc.want, tc.want)
+		}
+	}
+}
+
+func TestHistogramInsufficientSamples(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 999; i++ {
+		h.Record(time.Millisecond)
+	}
+	if q := h.Quantile(0.999); !q.Insufficient {
+		t.Fatalf("p99.9 of 999 samples = %v, want the insufficient marker", q.Value)
+	}
+	if q := h.Quantile(0.99); q.Insufficient {
+		t.Fatal("p99 of 999 samples marked insufficient")
+	}
+	empty := &Histogram{}
+	if q := empty.Quantile(0.5); !q.Insufficient {
+		t.Fatalf("p50 of an empty histogram = %v, want the insufficient marker", q.Value)
+	}
+}
+
+func TestHistogramBucketsExactAndMonotone(t *testing.T) {
+	// Sub-16ns values are exact; above that the bucket index is monotone and
+	// the reported edge never understates the recorded value.
+	last := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := histIdx(time.Duration(v))
+		if idx < last {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, idx, last)
+		}
+		last = idx
+		if hi := bucketHigh(idx); int64(hi) < v && idx < histBuckets-1 {
+			t.Errorf("bucket edge %v below recorded value %d", hi, v)
+		}
 	}
 }
 
