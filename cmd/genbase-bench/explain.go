@@ -5,18 +5,28 @@ import (
 	"os"
 
 	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/cost"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/multinode"
 	"github.com/genbase/genbase/internal/plan"
 )
 
+// explainSystem pairs an engine's physical registry with its cost-model
+// identity, so each printed operator carries the calibrated estimate the
+// router would rank it by.
+type explainSystem struct {
+	phys plan.Describer
+	cfg  cost.Config
+}
+
 // runExplain prints the compiled plan of every scenario for every
 // configuration — the seven single-node engines and the five virtual-cluster
 // engines: operator → arguments → phase tag → the engine's physical
-// implementation. The output is deterministic (no data is loaded, no timings
-// taken); CI diffs it against the committed PLANS.txt so any plan change — a
-// new operator, a capability regression, a phase-tag move — shows up in
-// review.
+// implementation → the calibrated per-operator cost estimate at the fit
+// dims. The output is deterministic (no data is loaded, no timings taken —
+// estimates come from the committed coefficients); CI diffs it against the
+// committed PLANS.txt so any plan change — a new operator, a capability
+// regression, a phase-tag move, a cost-model shift — shows up in review.
 func runExplain() error {
 	// One scratch dir serves every engine: explain never loads data, the
 	// disk-backed engines just need a root to exist.
@@ -25,7 +35,7 @@ func runExplain() error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	var systems []plan.Describer
+	var systems []explainSystem
 	for _, cfg := range core.SingleNodeConfigs() {
 		eng := cfg.New(1, dir)
 		defer eng.Close()
@@ -33,7 +43,7 @@ func runExplain() error {
 		if !ok {
 			return fmt.Errorf("%s registers no physical operators", cfg.Name)
 		}
-		systems = append(systems, phys)
+		systems = append(systems, explainSystem{phys: phys, cfg: cost.Config{System: cfg.Name}})
 	}
 	fmt.Println("=== single-node configurations ===")
 	fmt.Println()
@@ -43,17 +53,22 @@ func runExplain() error {
 	// The multi-node family: same compiled IR, partitioned physical
 	// operators over the virtual cluster (node count does not change the
 	// plan, only shard placement).
-	var clustered []plan.Describer
+	var clustered []explainSystem
 	for _, kind := range multinode.AllKinds() {
-		clustered = append(clustered, multinode.New(kind, 2))
+		clustered = append(clustered, explainSystem{
+			phys: multinode.New(kind, 2),
+			cfg:  cost.Config{System: kind.String(), Nodes: 2},
+		})
 	}
 	fmt.Println("=== multi-node configurations (virtual cluster) ===")
 	fmt.Println()
 	return explainSystems(clustered)
 }
 
-func explainSystems(systems []plan.Describer) error {
-	for _, phys := range systems {
+func explainSystems(systems []explainSystem) error {
+	model := cost.Default()
+	for _, sys := range systems {
+		phys := sys.phys
 		for _, q := range engine.AllScenarios() {
 			if !plan.Supports(phys.Capabilities(), q) {
 				fmt.Printf("%s plan for %s: unsupported (missing operators:", phys.Name(), q)
@@ -68,9 +83,35 @@ func explainSystems(systems []plan.Describer) error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(plan.Explain(pl, phys))
+			est, ok := model.Estimate(pl, sys.cfg, cost.FitDims)
+			annot := func(int) string { return "" }
+			if ok {
+				annot = func(i int) string { return fmtEstNs(est.PerOpNs[i]) }
+			}
+			fmt.Print(plan.ExplainAnnotated(pl, phys, annot))
+			if ok {
+				fmt.Printf("  estimated cost: %s (%s @ %dp×%dg×%dt)\n",
+					fmtEstNs(est.TotalNs), sys.cfg.Key(),
+					cost.FitDims.Patients, cost.FitDims.Genes, cost.FitDims.GOTerms)
+			}
 			fmt.Println()
 		}
 	}
 	return nil
+}
+
+// fmtEstNs renders a cost estimate with deterministic, diff-stable units.
+func fmtEstNs(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "~0"
+	case ns < 1e3:
+		return fmt.Sprintf("~%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("~%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("~%.1fms", ns/1e6)
+	default:
+		return fmt.Sprintf("~%.2fs", ns/1e9)
+	}
 }

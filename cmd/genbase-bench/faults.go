@@ -63,15 +63,15 @@ func drillScenarios() []struct{ name, plan string } {
 
 // drillRunJSON is one row of the BENCH_faults.json baseline.
 type drillRunJSON struct {
-	System     string  `json:"system"`
-	Nodes      int     `json:"nodes"`
-	Scenario   string  `json:"scenario"`
-	Faults     string  `json:"faults"`
-	MakespanMs float64 `json:"makespan_ms"` // one Q2 run, recovery cost included
-	Failovers  int64   `json:"failovers"`
-	Hedges     int64   `json:"hedges"`
-	Retries    int64   `json:"retries"`
-	Degraded   bool    `json:"degraded"`
+	System     string   `json:"system"`
+	Nodes      int      `json:"nodes"`
+	Scenario   string   `json:"scenario"`
+	Faults     string   `json:"faults"`
+	MakespanMs float64  `json:"makespan_ms"` // one Q2 run, recovery cost included
+	Failovers  int64    `json:"failovers"`
+	Hedges     int64    `json:"hedges"`
+	Retries    int64    `json:"retries"`
+	Degraded   bool     `json:"degraded"`
 	AnswerSHA  string   `json:"answer_sha"` // must match the healthy row's
 	QPS        float64  `json:"qps"`
 	P99Ms      *float64 `json:"p99_ms"` // null when the window cannot resolve a p99

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/genbase/genbase/internal/cost"
+)
+
+// fitConfig is the -fit-cost flag set: the three committed bench baselines
+// in, the cost-model coefficient file out.
+type fitConfig struct {
+	pipelinePath string
+	kernelsPath  string
+	servePath    string
+	outPath      string
+	quiet        bool
+}
+
+// runFitCost refits the cost-model coefficients from the committed bench
+// JSON. The fit is pure arithmetic over the input bytes (internal/cost.Fit),
+// so CI re-runs it against the committed BENCH_*.json and diffs the output
+// against the committed internal/cost/coeffs.json — any drift between the
+// baselines and the coefficients fails the build.
+func runFitCost(fc fitConfig) error {
+	read := func(path string) ([]byte, error) {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("fit-cost: %w", err)
+		}
+		return blob, nil
+	}
+	pipe, err := read(fc.pipelinePath)
+	if err != nil {
+		return err
+	}
+	kern, err := read(fc.kernelsPath)
+	if err != nil {
+		return err
+	}
+	srv, err := read(fc.servePath)
+	if err != nil {
+		return err
+	}
+	m, err := cost.Fit(pipe, kern, srv)
+	if err != nil {
+		return err
+	}
+	blob, err := m.MarshalJSONFile()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(fc.outPath, blob, 0o644); err != nil {
+		return err
+	}
+	if !fc.quiet {
+		fmt.Fprintf(os.Stderr, "fit %d configuration keys -> %s\n", len(m.Coeffs), fc.outPath)
+	}
+	return nil
+}

@@ -53,9 +53,30 @@ func main() {
 	faultsOut := flag.String("faults-out", "", "fault-drill mode: write the results JSON (the BENCH_faults.json baseline) to this file")
 	scanBench := flag.Bool("scan-bench", false, "run the scan-throughput microbench: selective predicates on encoded pages vs decode-then-filter, rows/sec and bytes/sec per encoding")
 	scanOut := flag.String("scan-out", "", "scan-bench mode: write the results JSON (the BENCH_scan.json baseline) to this file")
-	explain := flag.Bool("explain", false, "print the compiled plan of every scenario per engine (operator → physical impl → phase tag) and exit")
+	explain := flag.Bool("explain", false, "print the compiled plan of every scenario per engine (operator → physical impl → phase tag → estimated cost) and exit")
+	route := flag.String("route", "", "serve mode: comma-separated routing policies benchmarked over the full fleet on the mixed Q1-Q6 workload, e.g. \"cost,static:colstore-udf\" (cost = per-request cheapest-configuration routing; static:<config> = pin every request to one configuration)")
+	routeNodes := flag.Int("route-nodes", 2, "serve mode with -route: virtual-cluster node count for the fleet's multi-node configurations")
+	fitCost := flag.Bool("fit-cost", false, "refit the cost-model coefficients from the committed bench baselines and exit (deterministic; CI diffs the output against internal/cost/coeffs.json)")
+	fitPipeline := flag.String("fit-pipeline", "BENCH_pipeline.json", "fit-cost mode: pipeline baseline path")
+	fitKernels := flag.String("fit-kernels", "BENCH_kernels.json", "fit-cost mode: kernels baseline path")
+	fitServe := flag.String("fit-serve", "BENCH_serve.json", "fit-cost mode: serve baseline path")
+	fitOut := flag.String("fit-out", "internal/cost/coeffs.json", "fit-cost mode: output coefficient file")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	flag.Parse()
+
+	if *fitCost {
+		err := runFitCost(fitConfig{
+			pipelinePath: *fitPipeline,
+			kernelsPath:  *fitKernels,
+			servePath:    *fitServe,
+			outPath:      *fitOut,
+			quiet:        *quiet,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *explain {
 		if err := runExplain(); err != nil {
@@ -71,9 +92,14 @@ func main() {
 	engine.SetZeroCopy(*zerocopy)
 	engine.SetCompression(*compress)
 
-	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" && !*faultDrill && !*scanBench {
+	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" && *route == "" && !*faultDrill && !*scanBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// -route alone is a serve-mode run at the default client count.
+	if *route != "" && *clients == "" {
+		*clients = "4"
 	}
 
 	if *scanBench {
@@ -116,6 +142,9 @@ func main() {
 			quiet:        *quiet,
 			faults:       strings.TrimSpace(*faultSpec),
 			replication:  *replication,
+			route:        strings.TrimSpace(*route),
+			routeNodes:   *routeNodes,
+			reps:         *reps,
 		}
 		if *serveSystems != "" {
 			for _, s := range strings.Split(*serveSystems, ",") {

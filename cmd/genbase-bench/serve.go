@@ -6,15 +6,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/genbase/genbase/internal/cluster"
 	"github.com/genbase/genbase/internal/core"
+	"github.com/genbase/genbase/internal/cost"
 	"github.com/genbase/genbase/internal/datagen"
 	"github.com/genbase/genbase/internal/engine"
 	"github.com/genbase/genbase/internal/faults"
+	"github.com/genbase/genbase/internal/plan"
 	"github.com/genbase/genbase/internal/serve"
 )
 
@@ -22,7 +25,7 @@ import (
 type serveConfig struct {
 	clientCounts []int
 	duration     time.Duration
-	rate         float64 // open-loop offered arrivals/sec
+	rate         float64  // open-loop offered arrivals/sec
 	systems      []string // empty = all single-node configurations
 	nodes        []int    // node counts; entries > 1 serve the virtual-cluster variant
 	cache        bool
@@ -33,6 +36,9 @@ type serveConfig struct {
 	quiet        bool
 	faults       string // textual fault plan injected into cluster engines
 	replication  int    // shard replication factor for cluster engines
+	route        string // comma-separated routing policies ("cost,static:<config>"); empty = per-system sweep
+	routeNodes   int    // fleet node count for multi-node configurations in -route mode
+	reps         int    // -route mode: windows measured per (policy, clients) point; the median-QPS window is reported
 }
 
 // faultConfigurable is implemented by the cluster engines: a deterministic
@@ -73,6 +79,28 @@ func serveMix(p engine.Params) []serve.Request {
 	}
 }
 
+// routedMix is the full-breadth mix the fleet router is driven with: all six
+// scenarios, Q1–Q6. Unlike serveMix, nothing is excluded for being slow or
+// unsupported somewhere — routing is exactly the mechanism that absorbs the
+// heterogeneity (a statically pinned configuration must support the whole
+// mix, which is itself part of the ablation's point).
+func routedMix(p engine.Params) []serve.Request {
+	var out []serve.Request
+	for _, q := range engine.AllScenarios() {
+		out = append(out, serve.Request{Query: q, Params: p})
+	}
+	return out
+}
+
+// configShareJSON is one fleet member's slice of a routed window.
+type configShareJSON struct {
+	Config string `json:"config"`
+	Class  string `json:"class"`
+	Served int64  `json:"served"`
+	Shed   int64  `json:"shed,omitempty"`
+	Failed int64  `json:"failed,omitempty"`
+}
+
 // serveRunJSON is one row of the BENCH_serve.json baseline. Percentile
 // fields are pointers: null marks a window whose sample count could not
 // resolve that quantile (serve.Quantile's Insufficient), never a fake max.
@@ -92,27 +120,47 @@ type serveRunJSON struct {
 	Shed         int64    `json:"shed,omitempty"`
 	Deadlined    int64    `json:"deadlined,omitempty"`
 	Degraded     int64    `json:"degraded,omitempty"`
+
+	// Routing-mode fields: the policy that produced the row, the row's own
+	// measurement window (routed rows may use a longer window than the
+	// per-system sweep in the shared header), the hedged re-route count,
+	// and every backend's share of the served traffic.
+	Route      string            `json:"route,omitempty"`
+	DurationMs float64           `json:"duration_ms,omitempty"`
+	Rerouted   int64             `json:"rerouted,omitempty"`
+	Shares     []configShareJSON `json:"config_shares,omitempty"`
 }
 
 type serveReportJSON struct {
-	Dataset     string         `json:"dataset"`
-	Scale       float64        `json:"scale"`
-	Seed        uint64         `json:"seed"`
-	DurationMs  float64        `json:"duration_ms_per_run"`
-	RateQPS     float64        `json:"offered_rate_qps"`
-	Cache       bool           `json:"cache"`
-	CPUs        int            `json:"host_cpus"`
-	GoMaxProcs  int            `json:"gomaxprocs"`
-	Faults      string         `json:"faults,omitempty"`
-	Replication int            `json:"replication,omitempty"`
-	Mix         []string       `json:"mix"`
-	Results     []serveRunJSON `json:"results"`
+	Dataset     string   `json:"dataset"`
+	Scale       float64  `json:"scale"`
+	Seed        uint64   `json:"seed"`
+	DurationMs  float64  `json:"duration_ms_per_run"`
+	RateQPS     float64  `json:"offered_rate_qps"`
+	Cache       bool     `json:"cache"`
+	CPUs        int      `json:"host_cpus"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	Faults      string   `json:"faults,omitempty"`
+	Replication int      `json:"replication,omitempty"`
+	Mix         []string `json:"mix"`
+	// RoutedMix is the mix the -route rows were driven with (all six
+	// scenarios), kept separate from Mix because the per-system sweep rows
+	// in the same file use the narrower three-query mix.
+	RoutedMix []string `json:"routed_mix,omitempty"`
+	// RouteNote states how the routed fleet compared against the best
+	// statically pinned configuration in this file (written by the -route
+	// sweep; see DESIGN.md §16).
+	RouteNote string         `json:"route_note,omitempty"`
+	Results   []serveRunJSON `json:"results"`
 }
 
 // runServe is the -clients throughput mode: for each system, load the
 // dataset once, then sweep the client counts through a serve.Server and
 // report QPS and client-observed p50/p99 latency.
 func runServe(ctx context.Context, sc serveConfig) error {
+	if sc.route != "" {
+		return runServeRouted(ctx, sc)
+	}
 	ds, err := datagen.Generate(datagen.Config{Size: sc.size, Scale: sc.scale, Seed: sc.seed})
 	if err != nil {
 		return err
@@ -268,6 +316,295 @@ func runServe(ctx context.Context, sc serveConfig) error {
 		}
 	}
 	return nil
+}
+
+// runServeRouted is the -route throughput mode: load the entire 14-member
+// fleet once (every single-node configuration plus every cluster variant at
+// -route-nodes), then for each requested policy sweep the client counts
+// through a serve.Router fronting the fleet. "cost" routes each request to
+// the predicted-cheapest supported configuration under the calibrated model;
+// "static:<config>" pins every request to one member — the ablation baseline
+// the routed rows are judged against.
+func runServeRouted(ctx context.Context, sc serveConfig) error {
+	var policies []serve.Policy
+	for _, f := range strings.Split(sc.route, ",") {
+		pol, err := serve.ParsePolicy(strings.TrimSpace(f))
+		if err != nil {
+			return err
+		}
+		policies = append(policies, pol)
+	}
+	if sc.faults != "" {
+		return fmt.Errorf("fault drills are not supported in -route mode (pin a cluster config with -systems/-nodes instead)")
+	}
+	ds, err := datagen.Generate(datagen.Config{Size: sc.size, Scale: sc.scale, Seed: sc.seed})
+	if err != nil {
+		return err
+	}
+	fleet, err := core.FleetConfigs(sc.routeNodes)
+	if err != nil {
+		return err
+	}
+
+	type member struct {
+		core.FleetMember
+		eng engine.Engine
+		dir string
+	}
+	var members []*member
+	defer func() {
+		for _, m := range members {
+			m.eng.Close()
+			if m.dir != "" {
+				os.RemoveAll(m.dir)
+			}
+		}
+	}()
+	for _, fm := range fleet {
+		dir, err := os.MkdirTemp("", "genbase-fleet-*")
+		if err != nil {
+			return err
+		}
+		eng := fm.New(dir)
+		m := &member{FleetMember: fm, eng: eng, dir: dir}
+		members = append(members, m)
+		if err := eng.Load(ds); err != nil {
+			return fmt.Errorf("%s: load: %w", fm.Key, err)
+		}
+	}
+
+	params := engine.DefaultParams()
+	mix := routedMix(params)
+	report := serveReportJSON{
+		Dataset:    string(sc.size),
+		Scale:      sc.scale,
+		Seed:       sc.seed,
+		DurationMs: float64(sc.duration) / float64(time.Millisecond),
+		RateQPS:    sc.rate,
+		Cache:      sc.cache,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, r := range mix {
+		report.Mix = append(report.Mix, r.Query.String())
+	}
+
+	// Warm the online model once with a sequential solo probe of every
+	// (configuration, query) pair, observed at host wall-clock. The fit
+	// priors rank configurations by the committed baselines; the probe
+	// grounds them in what each one costs HERE — in particular, the
+	// virtual-platform engines whose simulated accounting hides their real
+	// wall cost — so the measured windows route from ground truth instead
+	// of spending themselves on discovery. Every cost-policy window shares
+	// the warmed model, as a deployed fleet would.
+	model := cost.NewOnline(cost.Default(), cost.FitDims)
+	for _, m := range members {
+		for _, r := range mix {
+			if !m.eng.Supports(r.Query) {
+				continue
+			}
+			pl, err := plan.Compile(r.Query, r.Params)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			if _, err := m.eng.Run(ctx, r.Query, r.Params); err == nil {
+				model.ObserveWall(m.Config, pl, float64(time.Since(t0).Nanoseconds()))
+			}
+		}
+	}
+
+	// best tracks, per client count, the cost-routed row and the statically
+	// pinned rows for the closing comparison note.
+	best := map[int][]routeRowRef{}
+
+	reps := max(sc.reps, 1)
+	for _, pol := range policies {
+		fmt.Printf("serve fleet — %s over %d configurations (clusters @ %d nodes, %s, cache %s, open-loop %.0f qps, window %v, median of %d)\n",
+			pol, len(members), sc.routeNodes, sc.size, onOff(sc.cache), sc.rate, sc.duration, reps)
+		fmt.Printf("%8s  %10s  %10s  %10s  %10s  %10s  %9s  %9s  %7s  %5s\n",
+			"clients", "offered", "qps", "p50_ms", "p99_ms", "p999_ms", "queries", "rerouted", "shed", "peak")
+		for _, n := range sc.clientCounts {
+			// Single-host run-to-run noise swamps a lone window (identical
+			// traffic splits have measured ±10% apart on a 1-CPU box), so
+			// each point runs -reps windows over the identical seeded
+			// arrival schedule and reports the median-QPS window. Backends
+			// and router are rebuilt per window for clean stats; the cost
+			// policy's online model carries across windows, as it would in
+			// a long-lived fleet.
+			type window struct {
+				res serve.BenchResult
+				rs  serve.RouterStats
+			}
+			var windows []window
+			for rep := 0; rep < reps; rep++ {
+				backends := make([]serve.Backend, 0, len(members))
+				for _, m := range members {
+					width := n
+					if m.Serial {
+						width = 1
+					}
+					backends = append(backends, serve.Backend{
+						Server: serve.New(m.eng, serve.Options{MaxConcurrent: width, DisableCache: true}),
+						Config: m.Config,
+						Class:  m.Class,
+					})
+				}
+				ropts := serve.RouterOptions{Policy: pol, DisableCache: !sc.cache}
+				if pol.Static == "" {
+					ropts.Model = model
+				}
+				router, err := serve.NewRouter(backends, ropts)
+				if err != nil {
+					return err
+				}
+				res, err := serve.Benchmark(ctx, router, mix, serve.BenchOptions{
+					Clients: n, Duration: sc.duration, Rate: sc.rate, Seed: sc.seed,
+				})
+				if err != nil {
+					return fmt.Errorf("%s @ %d clients: %w", pol, n, err)
+				}
+				windows = append(windows, window{res: res, rs: router.RouterStats()})
+			}
+			sort.SliceStable(windows, func(a, b int) bool { return windows[a].res.QPS < windows[b].res.QPS })
+			med := windows[len(windows)/2]
+			res, rs := med.res, med.rs
+			fmt.Printf("%8d  %10.1f  %10.1f  %10s  %10s  %10s  %9d  %9d  %7d  %5d\n",
+				n, res.OfferedQPS, res.QPS, fmtQuantile(res.P50), fmtQuantile(res.P99),
+				fmtQuantile(res.P999), res.Queries, rs.Rerouted, res.Shed, res.PeakInFlight)
+			row := serveRunJSON{
+				System:       res.System,
+				Nodes:        sc.routeNodes,
+				Clients:      n,
+				QPS:          round1(res.QPS),
+				OfferedQPS:   round1(res.OfferedQPS),
+				Dropped:      res.Dropped,
+				P50Ms:        msq(res.P50),
+				P99Ms:        msq(res.P99),
+				P999Ms:       msq(res.P999),
+				Queries:      res.Queries,
+				CacheHits:    res.CacheHits,
+				PeakInFlight: res.PeakInFlight,
+				Shed:         res.Shed,
+				Deadlined:    res.Deadlined,
+				Degraded:     res.Degraded,
+				Route:        pol.String(),
+				DurationMs:   ms(sc.duration),
+				Rerouted:     rs.Rerouted,
+			}
+			for _, sh := range rs.Shares {
+				if sh.Served == 0 && sh.Failed == 0 && sh.Stats.Shed == 0 {
+					continue // silent fleet member: routing never picked it
+				}
+				row.Shares = append(row.Shares, configShareJSON{
+					Config: sh.Key,
+					Class:  sh.Class,
+					Served: sh.Served,
+					Shed:   sh.Stats.Shed,
+					Failed: sh.Failed,
+				})
+			}
+			report.Results = append(report.Results, row)
+			best[n] = append(best[n], routeRowRef{run: row, cost: pol.Static == ""})
+		}
+		fmt.Println()
+	}
+
+	report.RouteNote = routeNote(best)
+	if report.RouteNote != "" {
+		fmt.Println(report.RouteNote)
+	}
+
+	if sc.outPath != "" {
+		// When the output file already holds a per-system sweep (the
+		// committed BENCH_serve.json baseline the cost fit reads), append
+		// the routed rows beside it — replacing any previous routed rows —
+		// instead of clobbering the sweep.
+		report.RoutedMix = report.Mix
+		if raw, err := os.ReadFile(sc.outPath); err == nil {
+			var existing serveReportJSON
+			if json.Unmarshal(raw, &existing) == nil && len(existing.Results) > 0 {
+				kept := existing.Results[:0:0]
+				for _, r := range existing.Results {
+					if r.Route == "" {
+						kept = append(kept, r)
+					}
+				}
+				existing.Results = append(kept, report.Results...)
+				existing.RoutedMix = report.RoutedMix
+				existing.RouteNote = report.RouteNote
+				report = existing
+			}
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(sc.outPath, blob, 0o644); err != nil {
+			return err
+		}
+		if !sc.quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", sc.outPath)
+		}
+	}
+	return nil
+}
+
+// routeRowRef pairs one benchmark row with whether it was cost-routed, for
+// the routed-vs-pinned comparison note.
+type routeRowRef struct {
+	run  serveRunJSON
+	cost bool
+}
+
+// routeNote renders the routed-vs-pinned comparison for the report header:
+// at each client count, the cost-routed fleet against the best statically
+// pinned configuration by completed QPS.
+func routeNote(best map[int][]routeRowRef) string {
+	var clients []int
+	for n := range best {
+		clients = append(clients, n)
+	}
+	sort.Ints(clients)
+	var parts []string
+	for _, n := range clients {
+		var costRow *serveRunJSON
+		var bestStatic *serveRunJSON
+		for i := range best[n] {
+			r := &best[n][i]
+			if r.cost {
+				costRow = &r.run
+			} else if bestStatic == nil || r.run.QPS > bestStatic.QPS {
+				bestStatic = &r.run
+			}
+		}
+		if costRow == nil || bestStatic == nil {
+			continue
+		}
+		cmp := fmt.Sprintf("%d clients: cost-routed %.1f qps vs best pinned %s %.1f qps",
+			n, costRow.QPS, strings.TrimPrefix(bestStatic.Route, "static:"), bestStatic.QPS)
+		if costRow.P99Ms != nil && bestStatic.P99Ms != nil {
+			cmp += fmt.Sprintf(" (p99 %.2fms vs %.2fms)", *costRow.P99Ms, *bestStatic.P99Ms)
+		}
+		// Verdict, stated explicitly: ahead, or behind within single-host
+		// run-to-run noise (a few percent on this 1-CPU box), or behind.
+		switch p99Worse := costRow.P99Ms != nil && bestStatic.P99Ms != nil && *costRow.P99Ms > *bestStatic.P99Ms; {
+		case costRow.QPS >= bestStatic.QPS && !p99Worse:
+			cmp += " — routed ahead"
+		case costRow.QPS >= 0.97*bestStatic.QPS && !p99Worse:
+			cmp += " — within run-to-run noise at equal-or-better p99"
+		case costRow.QPS >= 0.97*bestStatic.QPS:
+			cmp += " — within run-to-run noise"
+		default:
+			cmp += " — routed behind"
+		}
+		parts = append(parts, cmp)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "routed fleet vs best pinned, equal offered schedule — " + strings.Join(parts, "; ")
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

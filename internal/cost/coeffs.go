@@ -1,0 +1,53 @@
+package cost
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// coeffs.json is the committed offline fit — regenerated with
+// `go run ./cmd/genbase-bench -fit-cost` and diffed in CI against a fresh
+// fit of the committed BENCH_*.json, so it can never drift from the bench
+// baselines it claims to summarize.
+//
+//go:embed coeffs.json
+var embeddedCoeffs []byte
+
+var (
+	defaultOnce  sync.Once
+	defaultModel *Model
+	defaultErr   error
+)
+
+// Load parses the committed coefficient file into a fresh Model.
+func Load() (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(embeddedCoeffs, &m); err != nil {
+		return nil, fmt.Errorf("parse embedded coeffs.json: %w", err)
+	}
+	return &m, nil
+}
+
+// Default returns the committed offline model, parsed once. It panics only
+// if the committed file is unparseable — a build defect, not a runtime
+// condition.
+func Default() *Model {
+	defaultOnce.Do(func() { defaultModel, defaultErr = Load() })
+	if defaultErr != nil {
+		panic(defaultErr)
+	}
+	return defaultModel
+}
+
+// MarshalJSONFile renders the model as the committed coeffs.json bytes:
+// indented, key-sorted (encoding/json sorts map keys), trailing newline —
+// byte-stable for the CI determinism diff.
+func (m *Model) MarshalJSONFile() ([]byte, error) {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}

@@ -1,0 +1,277 @@
+// Package cost is the calibrated per-operator cost model behind the serving
+// fleet's router (DESIGN.md §16). The paper's contribution is a cross-engine
+// comparison — the same genomics queries run on a row store, a column store,
+// an array DBMS, R and MapReduce, and no single engine wins everywhere. This
+// package operationalizes that comparison as an optimizer input: for a
+// compiled plan (internal/plan) and a configuration key ("colstore-udf",
+// "scidb@4n", …) it predicts the wall-clock cost of executing the plan there,
+// so the router (internal/serve.Router) can send each request to the
+// configuration predicted cheapest for it.
+//
+// The model is deliberately simple and fully deterministic:
+//
+//   - Each plan operator has a selectivity-free work-unit formula (Units):
+//     structural functions of the dataset dimensions and the parameters baked
+//     into the plan node — no table statistics, following the "statistics
+//     unnecessary" greedy-ordering argument of the janus-datalog join work.
+//     Selections are charged their full input table (an upper bound, because
+//     without statistics the output cardinality is unknowable), kernels their
+//     dense flop shapes.
+//   - Each configuration carries two fitted coefficients: nanoseconds per
+//     data-management unit and nanoseconds per kernel unit. They are fit
+//     offline (Fit) from the committed BENCH_pipeline.json /
+//     BENCH_kernels.json / BENCH_serve.json baselines — pure arithmetic over
+//     the committed measurements, so the committed coefficients reproduce
+//     bit-for-bit from the committed bench data (CI checks this).
+//   - At serve time an Online layer (online.go) refines the offline estimate
+//     per (configuration, operator, size-class) from the timings the executor
+//     already records, EWMA-smoothed and decayed faster under drift.
+//
+// The absolute numbers matter less than the ranking: the router needs "which
+// configuration is cheapest for THIS plan", and the offline fit seeds that
+// ranking while the online layer corrects it from ground truth.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/genbase/genbase/internal/plan"
+)
+
+// Config identifies one routable configuration: a system, a cluster size and
+// an analytics worker count — the three dimensions the serving fleet can pick
+// between per request.
+type Config struct {
+	// System is the configuration name ("colstore-udf", "pbdr", …).
+	System string
+	// Nodes is the virtual-cluster size; 0 or 1 means the single-node engine.
+	Nodes int
+	// Workers is the pinned analytics worker count; 0 means the engine
+	// default. Answers are bitwise identical at any worker count, so Workers
+	// only moves cost, never bits.
+	Workers int
+}
+
+// Key renders the canonical coefficient-table key: the system name, "@Nn"
+// for cluster variants (matching the golden-answer key convention), and
+// "/wW" when a worker count is pinned.
+func (c Config) Key() string {
+	k := c.System
+	if c.Nodes > 1 {
+		k = fmt.Sprintf("%s@%dn", c.System, c.Nodes)
+	}
+	if c.Workers > 0 {
+		k = fmt.Sprintf("%s/w%d", k, c.Workers)
+	}
+	return k
+}
+
+// baseKey strips the worker suffix: fit data has no worker dimension, so
+// worker-pinned variants share the base configuration's coefficients (the
+// online layer keys by the full Key and so still refines them apart).
+func (c Config) baseKey() string {
+	w := c
+	w.Workers = 0
+	return w.Key()
+}
+
+// Dims is the loaded dataset shape the work-unit formulas scale with.
+type Dims struct {
+	Patients, Genes, GOTerms int
+}
+
+// opClass splits the operator vocabulary the way the coefficients are fit:
+// data management (scans, selections, pivots, answer joins) versus kernels.
+func opClass(k plan.OpKind) int {
+	switch k {
+	case plan.OpKernelRegression, plan.OpKernelCovariance, plan.OpKernelSVD,
+		plan.OpKernelBicluster, plan.OpKernelStats:
+		return classKernel
+	}
+	return classDM
+}
+
+const (
+	classDM = iota
+	classKernel
+)
+
+// Units is the selectivity-free work-unit formula: a structural estimate of
+// one operator's work given the dataset dimensions and the parameters baked
+// into the plan node, with no table statistics. Selections charge their full
+// input table; pivots and kernels charge dense shapes over the full
+// microarray (restricting selections shrink them in reality — but by how
+// much is exactly the statistic we refuse to assume; the bound is the same
+// for every configuration, so it cancels out of the ranking).
+func Units(n *plan.Node, d Dims) float64 {
+	P, G, T := float64(d.Patients), float64(d.Genes), float64(d.GOTerms)
+	if P < 1 {
+		P = 1
+	}
+	if G < 1 {
+		G = 1
+	}
+	if T < 1 {
+		T = 1
+	}
+	switch n.Kind {
+	case plan.OpSelectPred:
+		rows := G
+		if n.Table == plan.TablePatients {
+			rows = P
+		}
+		return rows * float64(max(len(n.Preds), 1))
+	case plan.OpScanTable:
+		switch n.Table {
+		case plan.TablePatients:
+			return P
+		case plan.TableGO:
+			return T * G // membership lists are per-term gene sets
+		default:
+			return G
+		}
+	case plan.OpSamplePatients:
+		return 1
+	case plan.OpPivotMicro:
+		if n.Agg == plan.AggColMeans {
+			step := float64(max(n.Step, 1))
+			return P / step * G
+		}
+		return P * G
+	case plan.OpKernelRegression:
+		// X'X Gram plus the triangular solve.
+		return P*G + G*G
+	case plan.OpKernelCovariance:
+		return P * G * G
+	case plan.OpKernelSVD:
+		return float64(max(n.K, 1)) * P * G
+	case plan.OpKernelBicluster:
+		return float64(max(n.MaxBiclusters, 1)) * P * G
+	case plan.OpKernelStats:
+		return T * G
+	case plan.OpTopKByAbs:
+		return G * G
+	case plan.OpEmit:
+		return 0
+	}
+	return 1
+}
+
+// Coeff is one configuration's fitted cost rates.
+type Coeff struct {
+	// DMNsPerUnit and KernelNsPerUnit are nanoseconds per work unit for the
+	// two operator classes.
+	DMNsPerUnit     float64 `json:"dm_ns_per_unit"`
+	KernelNsPerUnit float64 `json:"kernel_ns_per_unit"`
+	// Source records how the coefficient was fit ("pipeline+serve", "serve",
+	// "default") — provenance for the committed file, unused at runtime.
+	Source string `json:"source"`
+}
+
+// Model maps configuration keys to fitted coefficients. Zero value is
+// unusable; build one with Fit or load the committed fit with Load.
+type Model struct {
+	Coeffs map[string]Coeff `json:"coeffs"`
+	// ParallelKernelScale is the measured multi-worker kernel-rate
+	// multiplier (median parallel/serial ns ratio from BENCH_kernels.json),
+	// applied to the kernel rate when a configuration pins Workers > 1. On a
+	// genuinely multi-core host it is < 1; the committed 1-CPU recording
+	// shows the oversubscription penalty instead.
+	ParallelKernelScale float64 `json:"parallel_kernel_scale,omitempty"`
+	// Header documents the fit inputs for the committed file.
+	Header string `json:"header,omitempty"`
+}
+
+// Estimate is a predicted plan execution cost.
+type Estimate struct {
+	// TotalNs is the predicted wall-clock nanoseconds.
+	TotalNs float64
+	// PerOpNs aligns with the plan's node order.
+	PerOpNs []float64
+}
+
+// Lookup resolves the coefficients for a configuration, walking a
+// deterministic fallback chain when the exact key was never fit: the base
+// system at other node counts (nearest count, larger preferred on ties),
+// then the single-node base system, then the median of every fitted
+// configuration. ok is false only for an empty model.
+func (m *Model) Lookup(c Config) (Coeff, bool) {
+	if m == nil || len(m.Coeffs) == 0 {
+		return Coeff{}, false
+	}
+	if co, ok := m.Coeffs[c.baseKey()]; ok {
+		return co, true
+	}
+	// Same system, any fitted node count: nearest, larger on ties.
+	prefix := c.System + "@"
+	best := ""
+	bestDist := math.MaxInt
+	for k := range m.Coeffs {
+		if k != c.System && !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		n := 1
+		if i := strings.Index(k, "@"); i >= 0 {
+			fmt.Sscanf(k[i+1:], "%dn", &n)
+		}
+		d := n - max(c.Nodes, 1)
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist || (d == bestDist && k > best) {
+			best, bestDist = k, d
+		}
+	}
+	if best != "" {
+		return m.Coeffs[best], true
+	}
+	return m.median(), true
+}
+
+// median returns the per-class median coefficient over every fitted
+// configuration — the fallback for systems with no bench data at all.
+func (m *Model) median() Coeff {
+	keys := make([]string, 0, len(m.Coeffs))
+	for k := range m.Coeffs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dm := make([]float64, 0, len(keys))
+	kn := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		dm = append(dm, m.Coeffs[k].DMNsPerUnit)
+		kn = append(kn, m.Coeffs[k].KernelNsPerUnit)
+	}
+	sort.Float64s(dm)
+	sort.Float64s(kn)
+	return Coeff{DMNsPerUnit: dm[len(dm)/2], KernelNsPerUnit: kn[len(kn)/2], Source: "median"}
+}
+
+// Estimate predicts the cost of executing a compiled plan on a
+// configuration: each operator's work units times the configuration's fitted
+// rate for the operator's class. The estimate is selectivity-free and
+// deterministic — same plan, same config, same dims, same answer.
+func (m *Model) Estimate(pl *plan.Plan, c Config, d Dims) (Estimate, bool) {
+	co, ok := m.Lookup(c)
+	if !ok {
+		return Estimate{}, false
+	}
+	if c.Workers > 1 && m.ParallelKernelScale > 0 {
+		co.KernelNsPerUnit *= m.ParallelKernelScale
+	}
+	est := Estimate{PerOpNs: make([]float64, len(pl.Nodes))}
+	for i := range pl.Nodes {
+		n := &pl.Nodes[i]
+		rate := co.DMNsPerUnit
+		if opClass(n.Kind) == classKernel {
+			rate = co.KernelNsPerUnit
+		}
+		ns := Units(n, d) * rate
+		est.PerOpNs[i] = ns
+		est.TotalNs += ns
+	}
+	return est, true
+}

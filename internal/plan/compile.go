@@ -88,6 +88,10 @@ func Compile(q engine.QueryID, p engine.Params) (*Plan, error) {
 	default:
 		return nil, engine.ErrUnsupported
 	}
+	// The stats-free ordering pass (order.go): run the cheapest, most
+	// binding leaf selections first. Answer-invariant — the golden tests pin
+	// the reordered plans' answers bitwise on all 14 configurations.
+	Reorder(b.pl, DefaultRank)
 	return b.pl, nil
 }
 

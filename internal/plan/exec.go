@@ -354,6 +354,16 @@ func emit[M any](ex Physical[M], n *Node, in func(int) any, ids func(int) []int6
 // takes the currency-agnostic Describer so single-node and distributed
 // engines explain through the same call.
 func Explain(pl *Plan, ex Describer) string {
+	return ExplainAnnotated(pl, ex, nil)
+}
+
+// ExplainAnnotated is Explain with a caller-supplied per-operator suffix —
+// the hook genbase-bench uses to print each operator's estimated cost
+// (internal/cost cannot be imported here: cost estimates plans, so the
+// dependency points the other way). annot receives the node index and
+// returns a suffix appended after the physical implementation; nil or
+// empty-string results annotate nothing.
+func ExplainAnnotated(pl *Plan, ex Describer, annot func(i int) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s plan for %s (fingerprint %s)\n", ex.Name(), pl.Query, pl.Fingerprint())
 	for i := range pl.Nodes {
@@ -362,7 +372,13 @@ func Explain(pl *Plan, ex Describer) string {
 		if n.Kind == OpEmit {
 			ph = "-" // the stopwatch stops before answer assembly
 		}
-		fmt.Fprintf(&b, "  #%d %-46s [%s] -> %s\n", i, n.describe(), ph, ex.PhysicalName(n.Kind))
+		suffix := ""
+		if annot != nil {
+			if s := annot(i); s != "" {
+				suffix = "  " + s
+			}
+		}
+		fmt.Fprintf(&b, "  #%d %-46s [%s] -> %s%s\n", i, n.describe(), ph, ex.PhysicalName(n.Kind), suffix)
 	}
 	return b.String()
 }

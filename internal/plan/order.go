@@ -1,0 +1,117 @@
+package plan
+
+import "sort"
+
+// The greedy stats-free ordering pass (DESIGN.md §16). Compile builds each
+// query's DAG in the order the scenario prose reads, but independent leaf
+// selections — metadata filters with no plan inputs — commute: each one
+// reads only its base metadata table, so executing them in any order
+// produces byte-identical answers (the golden tests pin this across all 14
+// configurations). The pass runs the cheapest, most-binding ones first, so a
+// request that is going to fail a MinRows guard fails before the plan spends
+// time on wider selections, and the executor's working set stays small
+// early. Following the janus-datalog "statistics unnecessary" argument, the
+// rank needs no table statistics: on this fixed schema, predicate shape
+// (equality binds tighter than a range) and operator identity are enough to
+// order the chain.
+
+// Reorderable reports whether a node is legal for the ordering pass to
+// move: only leaf metadata selections — SelectPred or SamplePatients with no
+// plan inputs — commute. Everything else (scans feeding emits, pivots,
+// kernels, emit) is pinned: those operators consume upstream values, so
+// moving one could change what its consumer reads.
+func Reorderable(n *Node) bool {
+	switch n.Kind {
+	case OpSelectPred, OpSamplePatients:
+	default:
+		return false
+	}
+	for _, in := range n.Inputs {
+		if in >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultRank is the stats-free cost rank: lower runs earlier. A patient
+// sample is a stride walk with no guard — essentially free. Selections rank
+// by predicate shape: each equality binds tighter (and fails a guard
+// faster) than each range comparison, so more and tighter predicates pull a
+// selection earlier. Non-reorderable operators rank last (the pass never
+// moves them, but the rank is total for determinism).
+func DefaultRank(n *Node) int {
+	switch n.Kind {
+	case OpSamplePatients:
+		return 0
+	case OpSelectPred:
+		r := 100
+		for _, p := range n.Preds {
+			if p.Op == CmpEQ {
+				r -= 10
+			} else {
+				r -= 5
+			}
+		}
+		return r
+	}
+	return 1 << 20
+}
+
+// Reorder permutes the plan's reorderable leaf selections into ascending
+// rank order (stable: equal ranks keep compile order), remapping every
+// input index. Only the reorderable nodes trade positions — every other
+// node keeps its index — so the plan stays a valid topological order
+// whenever the permutation is legal; an illegal permutation (a moved leaf
+// would land after one of its consumers) leaves the plan untouched rather
+// than emit an unexecutable DAG.
+func Reorder(pl *Plan, rank func(*Node) int) {
+	var slots []int // positions reorderable nodes occupy, ascending
+	for i := range pl.Nodes {
+		if Reorderable(&pl.Nodes[i]) {
+			slots = append(slots, i)
+		}
+	}
+	if len(slots) < 2 {
+		return
+	}
+	// Old indices of the reorderable nodes, sorted by rank.
+	order := append([]int(nil), slots...)
+	sort.SliceStable(order, func(a, b int) bool {
+		return rank(&pl.Nodes[order[a]]) < rank(&pl.Nodes[order[b]])
+	})
+	oldToNew := make([]int, len(pl.Nodes))
+	for i := range oldToNew {
+		oldToNew[i] = i
+	}
+	for k, old := range order {
+		oldToNew[old] = slots[k] // k-th cheapest takes the k-th slot
+	}
+	// Legality: after the permutation every consumer must still follow all
+	// of its inputs. Reorderable nodes have no inputs, so only consumers
+	// sitting between two leaf slots can be at risk.
+	for i := range pl.Nodes {
+		for _, in := range pl.Nodes[i].Inputs {
+			if in >= 0 && oldToNew[in] >= oldToNew[i] {
+				return
+			}
+		}
+	}
+	next := make([]Node, len(pl.Nodes))
+	for i := range pl.Nodes {
+		n := pl.Nodes[i]
+		if len(n.Inputs) > 0 {
+			ins := make([]int, len(n.Inputs))
+			for j, in := range n.Inputs {
+				if in >= 0 {
+					ins[j] = oldToNew[in]
+				} else {
+					ins[j] = in
+				}
+			}
+			n.Inputs = ins
+		}
+		next[oldToNew[i]] = n
+	}
+	pl.Nodes = next
+}

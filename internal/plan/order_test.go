@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"testing"
+
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// Every compiled plan must come out of the ordering pass a valid
+// topological order: all real inputs strictly before their consumer.
+func TestReorderKeepsTopologicalOrder(t *testing.T) {
+	for _, q := range engine.AllScenarios() {
+		pl, err := Compile(q, engine.DefaultParams())
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		for i := range pl.Nodes {
+			for _, in := range pl.Nodes[i].Inputs {
+				if in >= i {
+					t.Errorf("%v: node #%d consumes #%d (not yet executed)", q, i, in)
+				}
+			}
+		}
+	}
+}
+
+// Q6 is the plan with two commuting leaf selections: the equality-guarded
+// patients filter must run before the range-predicate genes filter, with
+// every downstream input remapped.
+func TestReorderRunsMostBindingSelectionFirst(t *testing.T) {
+	pl, err := Compile(engine.Q6CohortRegression, engine.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := &pl.Nodes[0], &pl.Nodes[1]
+	if first.Kind != OpSelectPred || first.Table != TablePatients || first.Preds[0].Op != CmpEQ {
+		t.Fatalf("node #0 should be the equality patients selection, got %s", first.describe())
+	}
+	if second.Kind != OpSelectPred || second.Table != TableGenes {
+		t.Fatalf("node #1 should be the genes selection, got %s", second.describe())
+	}
+	// The pivot consumes (patients, genes) — now (#0, #1).
+	var pivot *Node
+	for i := range pl.Nodes {
+		if pl.Nodes[i].Kind == OpPivotMicro {
+			pivot = &pl.Nodes[i]
+		}
+	}
+	if pivot == nil || pivot.Inputs[0] != 0 || pivot.Inputs[1] != 1 {
+		t.Fatalf("pivot inputs not remapped: %+v", pivot)
+	}
+}
+
+func TestReorderableOnlyLeafSelections(t *testing.T) {
+	cases := []struct {
+		name string
+		n    Node
+		want bool
+	}{
+		{"leaf select", Node{Kind: OpSelectPred}, true},
+		{"leaf select, explicit no-input", Node{Kind: OpSelectPred, Inputs: []int{-1}}, true},
+		{"leaf sample", Node{Kind: OpSamplePatients}, true},
+		{"select with real input", Node{Kind: OpSelectPred, Inputs: []int{2}}, false},
+		{"scan", Node{Kind: OpScanTable}, false},
+		{"pivot", Node{Kind: OpPivotMicro, Inputs: []int{-1, -1}}, false},
+		{"kernel", Node{Kind: OpKernelCovariance, Inputs: []int{0}}, false},
+		{"emit", Node{Kind: OpEmit, Inputs: []int{0}}, false},
+	}
+	for _, c := range cases {
+		if got := Reorderable(&c.n); got != c.want {
+			t.Errorf("%s: Reorderable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDefaultRankOrdersByBindingPower(t *testing.T) {
+	sample := Node{Kind: OpSamplePatients}
+	eq := Node{Kind: OpSelectPred, Preds: []Pred{{Op: CmpEQ}}}
+	lt := Node{Kind: OpSelectPred, Preds: []Pred{{Op: CmpLT}}}
+	eqLT := Node{Kind: OpSelectPred, Preds: []Pred{{Op: CmpEQ}, {Op: CmpLT}}}
+	kernel := Node{Kind: OpKernelSVD}
+	if !(DefaultRank(&sample) < DefaultRank(&eqLT) &&
+		DefaultRank(&eqLT) < DefaultRank(&eq) &&
+		DefaultRank(&eq) < DefaultRank(&lt) &&
+		DefaultRank(&lt) < DefaultRank(&kernel)) {
+		t.Errorf("rank order wrong: sample=%d eq+lt=%d eq=%d lt=%d kernel=%d",
+			DefaultRank(&sample), DefaultRank(&eqLT), DefaultRank(&eq), DefaultRank(&lt), DefaultRank(&kernel))
+	}
+}
+
+// Non-commutable operators never move, whatever the rank says: a rank
+// function that inverts every comparison still leaves scans, pivots,
+// kernels, and emits at their compiled positions.
+func TestReorderNeverMovesNonCommutableOperators(t *testing.T) {
+	adversarial := func(n *Node) int { return -DefaultRank(n) }
+	for _, q := range engine.AllScenarios() {
+		pl, err := Compile(q, engine.DefaultParams())
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		before := make([]OpKind, len(pl.Nodes))
+		for i := range pl.Nodes {
+			before[i] = pl.Nodes[i].Kind
+		}
+		Reorder(pl, adversarial)
+		for i := range pl.Nodes {
+			if !Reorderable(&pl.Nodes[i]) && pl.Nodes[i].Kind != before[i] {
+				// A non-reorderable op may only sit where another
+				// non-reorderable op of the same kind sat — i.e. it moved.
+				t.Errorf("%v: non-commutable %v moved into slot %d (was %v)", q, pl.Nodes[i].Kind, i, before[i])
+			}
+		}
+		// And the plan is still executable.
+		for i := range pl.Nodes {
+			for _, in := range pl.Nodes[i].Inputs {
+				if in >= i {
+					t.Errorf("%v: adversarial reorder broke topology at #%d", q, i)
+				}
+			}
+		}
+	}
+}
+
+// A permutation that would land a leaf after one of its consumers must be
+// rejected wholesale, leaving the plan untouched.
+func TestReorderRejectsIllegalPermutation(t *testing.T) {
+	pl := &Plan{Nodes: []Node{
+		{Kind: OpSelectPred, Table: TableGenes, Preds: []Pred{{Op: CmpLT}}},    // rank 95
+		{Kind: OpScanTable, Table: TablePatients, Inputs: []int{0}},            // consumes #0
+		{Kind: OpSelectPred, Table: TablePatients, Preds: []Pred{{Op: CmpEQ}}}, // rank 90: wants slot 0
+	}}
+	want := pl.Fingerprintish()
+	Reorder(pl, DefaultRank)
+	if got := pl.Fingerprintish(); got != want {
+		t.Errorf("illegal permutation applied:\n got %s\nwant %s", got, want)
+	}
+}
+
+// Fingerprintish renders node kinds+inputs for the illegal-permutation test
+// (Fingerprint requires a Query).
+func (pl *Plan) Fingerprintish() string {
+	s := ""
+	for i := range pl.Nodes {
+		s += pl.Nodes[i].describe()
+		for _, in := range pl.Nodes[i].Inputs {
+			s += string(rune('0' + in))
+		}
+		s += "|"
+	}
+	return s
+}
+
+// Single-leaf plans pass through untouched (nothing to commute).
+func TestReorderSingleLeafNoop(t *testing.T) {
+	for _, q := range []engine.QueryID{engine.Q1Regression, engine.Q2Covariance, engine.Q5Statistics} {
+		a, _ := Compile(q, engine.DefaultParams())
+		b, _ := Compile(q, engine.DefaultParams())
+		Reorder(b, DefaultRank) // second application: idempotent
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%v: Reorder not idempotent", q)
+		}
+	}
+}

@@ -11,6 +11,15 @@ import (
 	"github.com/genbase/genbase/internal/engine"
 )
 
+// Runner is anything Benchmark can drive: a single-engine Server or the
+// fleet Router. Run's bool reports a cache hit; Stats snapshots the
+// admission-layer counters; Name labels the benchmark row.
+type Runner interface {
+	Name() string
+	Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error)
+	Stats() Stats
+}
+
 // Request is one entry of a benchmark query mix.
 type Request struct {
 	Query  engine.QueryID
@@ -91,7 +100,7 @@ type arrival struct {
 // distribution accumulates in fixed-bucket histograms — no per-request
 // slice, no end-of-window sort — from which p50/p99/p99.9 are reported
 // with typed insufficient-sample markers.
-func Benchmark(ctx context.Context, srv *Server, mix []Request, opts BenchOptions) (BenchResult, error) {
+func Benchmark(ctx context.Context, srv Runner, mix []Request, opts BenchOptions) (BenchResult, error) {
 	if len(mix) == 0 {
 		return BenchResult{}, fmt.Errorf("serve: empty query mix")
 	}
@@ -205,7 +214,7 @@ gen:
 	}
 	st := srv.Stats()
 	res := BenchResult{
-		System:       srv.Engine().Name(),
+		System:       srv.Name(),
 		Clients:      clients,
 		Duration:     elapsed,
 		Queries:      all.Total(),

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/genbase/genbase/internal/cost"
+	"github.com/genbase/genbase/internal/engine"
+)
+
+// routeEngine is a stubEngine with a configurable support set and injectable
+// failures, for router tests.
+type routeEngine struct {
+	stubEngine
+	supports map[engine.QueryID]bool // nil = supports everything
+	fail     error                   // returned by every Run when set
+}
+
+func (r *routeEngine) Supports(q engine.QueryID) bool {
+	if r.supports == nil {
+		return true
+	}
+	return r.supports[q]
+}
+
+func (r *routeEngine) Run(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, error) {
+	if r.fail != nil {
+		return nil, r.fail
+	}
+	return r.stubEngine.Run(ctx, q, p)
+}
+
+// testModel builds a cost model where "fast" is three orders of magnitude
+// cheaper than "slow" on every operator.
+func testModel() *cost.Online {
+	m := &cost.Model{Coeffs: map[string]cost.Coeff{
+		"fast": {DMNsPerUnit: 1, KernelNsPerUnit: 1},
+		"slow": {DMNsPerUnit: 1000, KernelNsPerUnit: 1000},
+	}}
+	return cost.NewOnline(m, cost.FitDims)
+}
+
+func routerBackends(fast, slow engine.Engine) []Backend {
+	return []Backend{
+		{Server: New(fast, Options{MaxConcurrent: 2, DisableCache: true}), Config: cost.Config{System: "fast"}, Class: "a"},
+		{Server: New(slow, Options{MaxConcurrent: 2, DisableCache: true}), Config: cost.Config{System: "slow"}, Class: "a"},
+	}
+}
+
+func TestRouterRoutesToPredictedCheapest(t *testing.T) {
+	fast := &routeEngine{stubEngine: stubEngine{name: "fast"}}
+	slow := &routeEngine{stubEngine: stubEngine{name: "slow"}}
+	r, err := NewRouter(routerBackends(fast, slow), RouterOptions{Model: testModel(), DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultParams()
+	for i := 0; i < 8; i++ {
+		p.Seed = uint64(i) // distinct fingerprints: no coalescing
+		if _, _, err := r.Run(context.Background(), engine.Q4SVD, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fast.runs.Load(); got != 8 {
+		t.Fatalf("cheap backend ran %d of 8", got)
+	}
+	if got := slow.runs.Load(); got != 0 {
+		t.Fatalf("expensive backend ran %d queries, want 0", got)
+	}
+	rs := r.RouterStats()
+	if rs.Rerouted != 0 {
+		t.Fatalf("rerouted %d with no overload", rs.Rerouted)
+	}
+	if rs.Shares[0].Served != 8 || rs.Shares[1].Served != 0 {
+		t.Fatalf("shares %+v", rs.Shares)
+	}
+}
+
+func TestRouterNeverSelectsUnsupportedBackend(t *testing.T) {
+	// "fast" is predicted far cheaper but only supports Q4; every other
+	// query must land on "slow" without ever touching "fast".
+	fast := &routeEngine{stubEngine: stubEngine{name: "fast"}, supports: map[engine.QueryID]bool{engine.Q4SVD: true}}
+	slow := &routeEngine{stubEngine: stubEngine{name: "slow"}}
+	r, err := NewRouter(routerBackends(fast, slow), RouterOptions{Model: testModel(), DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultParams()
+	for _, q := range []engine.QueryID{engine.Q1Regression, engine.Q2Covariance, engine.Q5Statistics} {
+		if _, _, err := r.Run(context.Background(), q, p); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if got := fast.runs.Load(); got != 0 {
+		t.Fatalf("unsupporting backend executed %d queries", got)
+	}
+	if got := slow.runs.Load(); got != 3 {
+		t.Fatalf("supporting backend ran %d of 3", got)
+	}
+
+	// A query no fleet member supports is rejected as typed unsupported,
+	// before any backend runs — including a query id that does not exist.
+	none := &routeEngine{stubEngine: stubEngine{name: "fast"}, supports: map[engine.QueryID]bool{}}
+	r2, err := NewRouter(routerBackends(none, none)[:1], RouterOptions{Model: testModel(), DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r2.Run(context.Background(), engine.Q4SVD, p); !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatalf("unsupported-everywhere error = %v, want ErrUnsupported", err)
+	}
+	if _, _, err := r2.Run(context.Background(), engine.QueryID(99), p); err == nil {
+		t.Fatal("bogus query id routed somewhere")
+	}
+	if got := none.runs.Load(); got != 0 {
+		t.Fatalf("backend executed %d unsupported queries", got)
+	}
+}
+
+func TestRouterStaticPolicyPins(t *testing.T) {
+	fast := &routeEngine{stubEngine: stubEngine{name: "fast"}}
+	slow := &routeEngine{stubEngine: stubEngine{name: "slow"}}
+	r, err := NewRouter(routerBackends(fast, slow), RouterOptions{
+		Model: testModel(), DisableCache: true, Policy: Policy{Static: "slow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultParams()
+	for i := 0; i < 4; i++ {
+		p.Seed = uint64(i)
+		if _, _, err := r.Run(context.Background(), engine.Q2Covariance, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fast.runs.Load() != 0 || slow.runs.Load() != 4 {
+		t.Fatalf("static pin leaked: fast=%d slow=%d", fast.runs.Load(), slow.runs.Load())
+	}
+
+	// Pinning to a backend that does not support the query is a typed
+	// unsupported error, not a silent re-route.
+	noQ2 := &routeEngine{stubEngine: stubEngine{name: "fast"}, supports: map[engine.QueryID]bool{engine.Q4SVD: true}}
+	r2, err := NewRouter(routerBackends(noQ2, slow), RouterOptions{
+		Model: testModel(), DisableCache: true, Policy: Policy{Static: "fast"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r2.Run(context.Background(), engine.Q2Covariance, p); !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatalf("pinned-unsupported error = %v, want ErrUnsupported", err)
+	}
+	if slow.runs.Load() != 4 {
+		t.Fatal("static pin re-routed to another backend")
+	}
+
+	// A static policy naming a configuration outside the fleet fails at
+	// construction, listing the fleet.
+	if _, err := NewRouter(routerBackends(fast, slow), RouterOptions{Policy: Policy{Static: "nope"}}); err == nil {
+		t.Fatal("unknown static configuration accepted")
+	}
+}
+
+func TestRouterHedgesToNextOnOverload(t *testing.T) {
+	fast := &routeEngine{stubEngine: stubEngine{name: "fast"}, fail: fmt.Errorf("kernel exploded")}
+	slow := &routeEngine{stubEngine: stubEngine{name: "slow"}}
+	backends := []Backend{
+		{Server: New(fast, Options{MaxConcurrent: 1, DisableCache: true, BreakerThreshold: 1}), Config: cost.Config{System: "fast"}, Class: "a"},
+		{Server: New(slow, Options{MaxConcurrent: 1, DisableCache: true}), Config: cost.Config{System: "slow"}, Class: "a"},
+	}
+	r, err := NewRouter(backends, RouterOptions{Model: testModel(), DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultParams()
+	// First request: routed to the cheap backend, whose engine fails — an
+	// engine failure is final (never silently re-run elsewhere), and it
+	// opens the breaker.
+	if _, _, err := r.Run(context.Background(), engine.Q1Regression, p); err == nil {
+		t.Fatal("engine failure swallowed")
+	}
+	// Subsequent requests: the open breaker sheds with ErrOverload, and the
+	// router hedges to the next-cheapest backend instead of failing.
+	for i := 0; i < 3; i++ {
+		p.Seed = uint64(i + 1)
+		if _, _, err := r.Run(context.Background(), engine.Q1Regression, p); err != nil {
+			t.Fatalf("hedged request %d: %v", i, err)
+		}
+	}
+	if got := slow.runs.Load(); got != 3 {
+		t.Fatalf("fallback backend ran %d of 3", got)
+	}
+	rs := r.RouterStats()
+	// The first fallback success is a hedged re-route; after it, the online
+	// model has learned the fallback's true (near-zero) wall cost and may
+	// rank it first outright — so later successes need not count as
+	// re-routes.
+	if rs.Rerouted < 1 {
+		t.Fatalf("rerouted = %d, want >= 1", rs.Rerouted)
+	}
+	if rs.Shares[0].Failed != 1 {
+		t.Fatalf("failed backend share %+v", rs.Shares[0])
+	}
+}
+
+func TestRouterCacheIsClassKeyed(t *testing.T) {
+	shared := NewCache(0)
+	mkBackends := func(a, b, c engine.Engine) []Backend {
+		return []Backend{
+			{Server: New(a, Options{MaxConcurrent: 1, DisableCache: true}), Config: cost.Config{System: "fast"}, Class: "x"},
+			{Server: New(b, Options{MaxConcurrent: 1, DisableCache: true}), Config: cost.Config{System: "fast", Nodes: 2}, Class: "x"},
+			{Server: New(c, Options{MaxConcurrent: 1, DisableCache: true}), Config: cost.Config{System: "slow"}, Class: "y"},
+		}
+	}
+	a := &routeEngine{stubEngine: stubEngine{name: "a"}}
+	b := &routeEngine{stubEngine: stubEngine{name: "b"}}
+	c := &routeEngine{stubEngine: stubEngine{name: "c"}}
+	p := engine.DefaultParams()
+
+	// Cost-routed: the first request executes on a backend of class "x" and
+	// caches under that class; the repeat is a hit.
+	r1, err := NewRouter(mkBackends(a, b, c), RouterOptions{Model: testModel(), Cache: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := r1.Run(context.Background(), engine.Q2Covariance, p); err != nil || hit {
+		t.Fatalf("first run: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := r1.Run(context.Background(), engine.Q2Covariance, p); err != nil || !hit {
+		t.Fatalf("repeat run: hit=%v err=%v", hit, err)
+	}
+	if a.runs.Load()+b.runs.Load() != 1 {
+		t.Fatalf("class-x backends ran %d, want 1", a.runs.Load()+b.runs.Load())
+	}
+
+	// A second router over the same shared cache, pinned to the class-"x"
+	// sibling that did NOT execute: still a hit — entries are shared within
+	// the class.
+	r2, err := NewRouter(mkBackends(a, b, c), RouterOptions{
+		Model: testModel(), Cache: shared, Policy: Policy{Static: "fast@2n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := r2.Run(context.Background(), engine.Q2Covariance, p); err != nil || !hit {
+		t.Fatalf("same-class pinned run: hit=%v err=%v", hit, err)
+	}
+	if b.runs.Load() != 0 {
+		t.Fatal("same-class sibling executed despite cached answer")
+	}
+
+	// Pinned to the class-"y" backend: the class-"x" entry must NOT serve
+	// it — different class, different bits.
+	r3, err := NewRouter(mkBackends(a, b, c), RouterOptions{
+		Model: testModel(), Cache: shared, Policy: Policy{Static: "slow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := r3.Run(context.Background(), engine.Q2Covariance, p); err != nil || hit {
+		t.Fatalf("cross-class pinned run: hit=%v err=%v (class-x answer leaked to class y)", hit, err)
+	}
+	if c.runs.Load() != 1 {
+		t.Fatalf("class-y backend ran %d, want 1", c.runs.Load())
+	}
+}
+
+func TestRouterCoalescesAcrossFleet(t *testing.T) {
+	eng := &routeEngine{stubEngine: stubEngine{name: "fast", delay: 10 * time.Millisecond}}
+	slow := &routeEngine{stubEngine: stubEngine{name: "slow"}}
+	r, err := NewRouter(routerBackends(eng, slow), RouterOptions{Model: testModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultParams()
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, _, err := r.Run(context.Background(), engine.Q5Statistics, p)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.runs.Load() + slow.runs.Load(); got != 1 {
+		t.Fatalf("8 identical cold requests executed %d times, want 1 (single-flight)", got)
+	}
+}
+
+func TestRouterRejectsBackendWithOwnCache(t *testing.T) {
+	eng := &routeEngine{stubEngine: stubEngine{name: "fast"}}
+	_, err := NewRouter([]Backend{
+		{Server: New(eng, Options{MaxConcurrent: 1}), Config: cost.Config{System: "fast"}, Class: "a"},
+	}, RouterOptions{})
+	if err == nil {
+		t.Fatal("backend with private cache accepted; double-caching would bypass class keying")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"cost", Policy{}, true},
+		{"static:colstore-udf", Policy{Static: "colstore-udf"}, true},
+		{"static:scidb@2n", Policy{Static: "scidb@2n"}, true},
+		{"static:", Policy{}, false},
+		{"", Policy{}, false},
+		{"greedy", Policy{}, false},
+	} {
+		got, err := ParsePolicy(c.in)
+		if c.ok != (err == nil) || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %+v, %v", c.in, got, err)
+		}
+		if c.ok && got.String() != c.in {
+			t.Errorf("Policy round-trip %q -> %q", c.in, got.String())
+		}
+	}
+}

@@ -104,12 +104,8 @@ type Server struct {
 	slots  chan struct{}
 	cache  *Cache // nil when caching is disabled
 
-	// pending coalesces cold-cache twins (single-flight): the first caller
-	// of a key becomes its leader and executes; concurrent callers of the
-	// same key wait on the channel and read the leader's cached result —
-	// the hot-query stampede executes once instead of once per client.
-	pendMu  sync.Mutex
-	pending map[Key]chan struct{}
+	// flights coalesces cold-cache twins (single-flight, see flight.go).
+	flights flights
 
 	// fps memoizes (query, params) → plan fingerprint. engine.Params is a
 	// flat comparable struct, so the exact-repeat hot path (the traffic
@@ -213,7 +209,6 @@ func New(eng engine.Engine, opts Options) *Server {
 		system:   eng.Name(),
 		slots:    make(chan struct{}, maxc),
 		cache:    cache,
-		pending:  make(map[Key]chan struct{}),
 		fps:      make(map[fpKey]string),
 		timeout:  opts.RequestTimeout,
 		maxQueue: opts.MaxQueue,
@@ -266,6 +261,10 @@ func (s *Server) fingerprint(q engine.QueryID, p engine.Params) (string, error) 
 // Engine returns the wrapped engine.
 func (s *Server) Engine() engine.Engine { return s.eng }
 
+// Name identifies the served system (the wrapped engine's name) — the
+// Runner identity Benchmark reports.
+func (s *Server) Name() string { return s.system }
+
 // MaxConcurrent returns the admission width.
 func (s *Server) MaxConcurrent() int { return cap(s.slots) }
 
@@ -313,45 +312,13 @@ func (s *Server) run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 	if res, ok := s.cache.get(key); ok {
 		return res, true, nil
 	}
-	for first := true; ; first = false {
-		// Re-check the cache on every pass but the first (whose miss the get
-		// above just recorded): a woken waiter's twin, or a retrier that
-		// raced ahead after a failed leader, may have cached the answer
-		// between the last wait and this contention round. peek, not get —
-		// this caller's miss is already counted.
-		if !first {
-			if res, ok := s.cache.peek(key); ok {
-				return res, true, nil
-			}
+	return s.flights.run(ctx, s.cache, key, func() (*engine.Result, error) {
+		res, _, err := s.execute(ctx, q, p)
+		if err == nil {
+			s.cache.put(key, res)
 		}
-		s.pendMu.Lock()
-		ch, exists := s.pending[key]
-		if !exists {
-			// Leader: execute once and publish for the waiters.
-			ch = make(chan struct{})
-			s.pending[key] = ch
-			s.pendMu.Unlock()
-			res, hit, err := s.execute(ctx, q, p)
-			if err == nil {
-				s.cache.put(key, res)
-			}
-			s.pendMu.Lock()
-			delete(s.pending, key)
-			s.pendMu.Unlock()
-			close(ch)
-			return res, hit, err
-		}
-		s.pendMu.Unlock()
-		// Waiter: a twin of this exact query is executing; wait for it
-		// instead of burning an admission slot on a duplicate, then loop —
-		// the next pass reads the leader's cached result or contends to
-		// lead the retry if the leader failed.
-		select {
-		case <-ch:
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
-		}
-	}
+		return res, err
+	})
 }
 
 // execute admits one query through the semaphore and runs it on the engine,
