@@ -317,23 +317,45 @@ const (
 func BenchmarkKernelGEMM(b *testing.B) {
 	a := randomMatrix(kernelRows, kernelCols, 21)
 	w := randomMatrix(kernelCols, 256, 22)
+	linalg.ResolveKernelTiles() // one-time tile autotune outside the timed region
 	b.Run("naive", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			linalg.MulNaive(a, w)
 		}
 	})
-	b.Run("blocked-serial", func(b *testing.B) {
+	b.Run("packed-serial", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			linalg.MulBlockedP(a, w, 1)
 		}
 	})
-	b.Run("blocked-parallel", func(b *testing.B) {
+	b.Run("packed-parallel", func(b *testing.B) {
 		b.ReportAllocs()
 		workers := runtime.GOMAXPROCS(0)
 		for i := 0; i < b.N; i++ {
 			linalg.MulBlockedP(a, w, workers)
+		}
+	})
+}
+
+// BenchmarkKernelGEMM512 is the perf-floor shape (DESIGN.md §17): packed
+// serial GEMM vs the naive oracle at 512³, the pair the CI kernel floor
+// (TestKernelPerfFloor512) asserts on.
+func BenchmarkKernelGEMM512(b *testing.B) {
+	a := randomMatrix(512, 512, 26)
+	w := randomMatrix(512, 512, 27)
+	linalg.ResolveKernelTiles()
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linalg.MulNaive(a, w)
+		}
+	})
+	b.Run("packed-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linalg.MulBlockedP(a, w, 1)
 		}
 	})
 }

@@ -414,6 +414,42 @@ func runServeRouted(ctx context.Context, sc serveConfig) error {
 		}
 	}
 
+	// One discarded warm-up window before any measured policy: the first
+	// high-rate window against a freshly loaded fleet pays one-time process
+	// costs (heap growth to the serving footprint, faulting in every
+	// engine's pages) that later windows don't — measured at ~20% QPS on a
+	// 1-CPU host, enough to misrank whichever policy happens to be listed
+	// first. The solo model-warming probes above are too gentle to absorb
+	// it. No model is attached, so the warm-up cannot perturb the cost
+	// policy's online statistics.
+	if len(policies) > 0 && len(sc.clientCounts) > 0 {
+		n := sc.clientCounts[0]
+		backends := make([]serve.Backend, 0, len(members))
+		for _, m := range members {
+			width := n
+			if m.Serial {
+				width = 1
+			}
+			backends = append(backends, serve.Backend{
+				Server: serve.New(m.eng, serve.Options{MaxConcurrent: width, DisableCache: true}),
+				Config: m.Config,
+				Class:  m.Class,
+			})
+		}
+		router, err := serve.NewRouter(backends, serve.RouterOptions{Policy: policies[0], DisableCache: !sc.cache})
+		if err != nil {
+			return err
+		}
+		if !sc.quiet {
+			fmt.Printf("warm-up window — %s, %d clients, %v (discarded)\n\n", policies[0], n, sc.duration)
+		}
+		if _, err := serve.Benchmark(ctx, router, mix, serve.BenchOptions{
+			Clients: n, Duration: sc.duration, Rate: sc.rate, Seed: sc.seed,
+		}); err != nil {
+			return fmt.Errorf("warm-up window: %w", err)
+		}
+	}
+
 	// best tracks, per client count, the cost-routed row and the statically
 	// pinned rows for the closing comparison note.
 	best := map[int][]routeRowRef{}

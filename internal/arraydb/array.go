@@ -296,9 +296,15 @@ func (o *ATAOperator) Apply(x []float64) []float64 {
 		}
 		linalg.PutSlice(buf)
 	})
-	z := make([]float64, a.Cols) // retained by Lanczos; must not be pooled
+	// Arena-drawn under the LinearOperator ownership contract: Lanczos
+	// returns spent result vectors to the pool. Each worker zeroes its own
+	// column range before accumulating (pooled buffers arrive dirty).
+	z := linalg.GetSlice(a.Cols)
 	parallel.ForSplit(o.Workers, a.Cols, func(lo, hi int) {
 		buf := linalg.GetSlice(a.Cols)
+		for j := lo; j < hi; j++ {
+			z[j] = 0
+		}
 		for i := 0; i < a.Rows; i++ {
 			a.CopyRowRange(i, lo, hi, buf)
 			yi := y[i]

@@ -58,7 +58,7 @@ var serveMixQueries = []engine.QueryID{engine.Q1Regression, engine.Q2Covariance,
 // BENCH_kernels.json whose ratio measures the multi-worker kernel-rate
 // multiplier.
 var kernelScalePairs = [][2]string{
-	{"KernelGEMM/blocked-serial", "KernelGEMM/blocked-parallel"},
+	{"KernelGEMM/packed-serial", "KernelGEMM/packed-parallel"},
 	{"KernelGram/serial", "KernelGram/parallel"},
 	{"KernelCovariance/serial", "KernelCovariance/parallel"},
 	{"KernelSVD/serial", "KernelSVD/parallel"},

@@ -15,7 +15,12 @@ import (
 type LinearOperator interface {
 	// Dim is the order of the (square, symmetric) operator.
 	Dim() int
-	// Apply computes y = A·x. The returned slice must not alias x.
+	// Apply computes y = A·x. The returned slice must not alias x, and
+	// ownership transfers to the caller: Lanczos recycles spent result
+	// vectors through the pooled arena (PutSlice) once the iteration is
+	// done, so an implementation must return a fresh or arena-drawn slice
+	// each call and must not retain it. (PutSlice quietly drops buffers it
+	// does not recognize, so plain make'd results remain safe.)
 	Apply(x []float64) []float64
 }
 
@@ -29,8 +34,13 @@ type DenseOperator struct {
 // Dim implements LinearOperator.
 func (d DenseOperator) Dim() int { return d.M.Rows }
 
-// Apply implements LinearOperator.
-func (d DenseOperator) Apply(x []float64) []float64 { return MatVecP(d.M, x, d.Workers) }
+// Apply implements LinearOperator. The result is drawn from the pooled
+// arena; Lanczos returns it there when the iteration no longer needs it.
+func (d DenseOperator) Apply(x []float64) []float64 {
+	y := GetSlice(d.M.Rows)
+	matVecInto(y, d.M, x, d.Workers)
+	return y
+}
 
 // ATAOperator applies x ↦ Aᵀ(A·x) without forming AᵀA. This is the operator
 // Q4 uses: the Lanczos iteration on AᵀA yields A's singular values. Workers
@@ -43,9 +53,17 @@ type ATAOperator struct {
 // Dim implements LinearOperator.
 func (o ATAOperator) Dim() int { return o.A.Cols }
 
-// Apply implements LinearOperator.
+// Apply implements LinearOperator. Both the A·x intermediate and the result
+// run through the pooled arena: the intermediate is returned immediately,
+// the result once Lanczos is done with it — the per-iteration mat-vec allocs
+// this removes were the KernelSVD/parallel allocation blow-up.
 func (o ATAOperator) Apply(x []float64) []float64 {
-	return MatTVecP(o.A, MatVecP(o.A, x, o.Workers), o.Workers)
+	tmp := GetSlice(o.A.Rows)
+	matVecInto(tmp, o.A, x, o.Workers)
+	y := GetSlice(o.A.Cols)
+	matTVecInto(y, o.A, tmp, o.Workers)
+	PutSlice(tmp)
+	return y
 }
 
 // LanczosOptions controls the iteration.
@@ -103,9 +121,10 @@ func Lanczos(op LinearOperator, k int, opts LanczosOptions) (*EigResult, error) 
 		tol = 1e-10
 	}
 
-	// Deterministic pseudo-random start vector.
+	// Deterministic pseudo-random start vector, drawn from the arena like
+	// every other basis vector (recycled below with the rest of the basis).
 	rng := splitMix64(opts.Seed ^ 0x9e3779b97f4a7c15)
-	v := make([]float64, n)
+	v := GetSlice(n)
 	for i := range v {
 		v[i] = rng()*2 - 1
 	}
@@ -122,12 +141,13 @@ func Lanczos(op LinearOperator, k int, opts LanczosOptions) (*EigResult, error) 
 
 	w := v
 	var vPrev []float64
+	var av []float64
 	betaPrev := 0.0
 	iters := 0
 	for j := 0; j < maxIter; j++ {
 		iters = j + 1
 		basis = append(basis, w)
-		av := op.Apply(w)
+		av = op.Apply(w)
 		if vPrev != nil {
 			Axpy(-betaPrev, vPrev, av)
 		}
@@ -201,6 +221,14 @@ func Lanczos(op LinearOperator, k int, opts LanczosOptions) (*EigResult, error) 
 			}
 		}
 	})
+	// Recycle the Krylov basis and the final (never-enrolled) Apply result:
+	// every loop exit leaves the last av outside basis. Basis entries are the
+	// start vector plus enrolled Apply results — all arena-drawn under the
+	// Apply ownership contract.
+	for _, u := range basis {
+		PutSlice(u)
+	}
+	PutSlice(av)
 	return res, nil
 }
 
@@ -235,11 +263,13 @@ func TopKSVD(a *Matrix, k int, opts LanczosOptions) (*SVDResult, error) {
 		sigma := math.Sqrt(lam)
 		res.SingularValues[j] = sigma
 		if sigma > 1e-13 {
-			u := MatVecP(a, eig.Vectors.Col(j), opts.Workers)
+			u := GetSlice(a.Rows)
+			matVecInto(u, a, eig.Vectors.Col(j), opts.Workers)
 			ScaleVec(1/sigma, u)
 			for i := 0; i < a.Rows; i++ {
 				res.U.Set(i, j, u[i])
 			}
+			PutSlice(u)
 		}
 	}
 	return res, nil

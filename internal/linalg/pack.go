@@ -1,0 +1,73 @@
+package linalg
+
+// pack.go copies operand sub-blocks into contiguous, micro-tile-interleaved
+// panels so the micro-kernel's loads are unit-stride regardless of the source
+// matrix's stride (DESIGN.md §17). Packing copies values verbatim — it can
+// change where a number lives, never what it is — so the packed kernels stay
+// bitwise identical to the unpacked triple loop.
+//
+// Panel layout: a block of W consecutive rows (or columns) becomes one panel
+// of W*kc doubles, interleaved by reduction index: element (lane ii, depth k)
+// lives at panel[k*W+ii]. Panel p of a block starts at dst[p*W*kc]. A partial
+// edge panel (fewer than W live lanes) writes only its live lanes; the edge
+// micro-kernel reads only those, so the dead lanes are never touched.
+
+// packRowPanels4 packs rows [r0, re) × columns [k0, ke) of m into 4-wide row
+// panels: dst[p*4*kc + k*4 + ii] = m[r0+4p+ii][k0+k].
+func packRowPanels4(dst []float64, m *Matrix, r0, re, k0, ke int) {
+	kc := ke - k0
+	for p := 0; r0+p*4 < re; p++ {
+		base := p * 4 * kc
+		if r0+p*4+4 <= re {
+			q0 := m.Row(r0 + p*4)[k0:ke]
+			q1 := m.Row(r0 + p*4 + 1)[k0:ke]
+			q2 := m.Row(r0 + p*4 + 2)[k0:ke]
+			q3 := m.Row(r0 + p*4 + 3)[k0:ke]
+			o := base
+			for k := 0; k < kc; k++ {
+				dst[o] = q0[k]
+				dst[o+1] = q1[k]
+				dst[o+2] = q2[k]
+				dst[o+3] = q3[k]
+				o += 4
+			}
+			continue
+		}
+		for t := 0; r0+p*4+t < re; t++ {
+			row := m.Row(r0 + p*4 + t)[k0:ke]
+			o := base + t
+			for k := 0; k < kc; k++ {
+				dst[o] = row[k]
+				o += 4
+			}
+		}
+	}
+}
+
+// packColPanels4 packs rows [k0, ke) × columns [c0, ce) of m into 4-wide
+// column panels: dst[p*4*kc + k*4 + jj] = m[k0+k][c0+4p+jj]. Walks m row by
+// row so the source traffic is unit-stride.
+func packColPanels4(dst []float64, m *Matrix, k0, ke, c0, ce int) {
+	kc := ke - k0
+	width := ce - c0
+	np := width / 4 // full panels; the remainder forms one edge panel
+	for k := k0; k < ke; k++ {
+		row := m.Row(k)[c0:ce]
+		o := (k - k0) * 4
+		for p := 0; p < np; p++ {
+			src := row[p*4 : p*4+4]
+			d := dst[p*4*kc+o : p*4*kc+o+4]
+			d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
+		}
+		for t := np * 4; t < width; t++ {
+			dst[np*4*kc+o+(t-np*4)] = row[t]
+		}
+	}
+}
+
+// packPanelLen returns the scratch length needed to pack a block of up to
+// `span` lanes × `depth` reduction steps at micro-tile width 4 (lanes rounded
+// up to whole panels).
+func packPanelLen(span, depth int) int {
+	return ((span + 3) / 4 * 4) * depth
+}

@@ -122,12 +122,23 @@ func MatTVec(a *Matrix, x []float64) []float64 { return MatTVecP(a, x, 0) }
 // order exactly as the serial kernel does — no cross-worker reduction, so the
 // result is bitwise identical at any worker count.
 func MatTVecP(a *Matrix, x []float64, workers int) []float64 {
+	y := make([]float64, a.Cols)
+	matTVecInto(y, a, x, workers)
+	return y
+}
+
+// matTVecInto is MatTVecP into caller-owned storage (len a.Cols, fully
+// overwritten: each worker zeroes its own column range before accumulating)
+// — the pooled-scratch entry point.
+func matTVecInto(y []float64, a *Matrix, x []float64, workers int) {
 	if len(x) != a.Rows {
 		panic("linalg: mattvec dimension mismatch")
 	}
-	y := make([]float64, a.Cols)
 	w := gemmWorkers(workers, 2*int64(a.Rows)*int64(a.Cols))
 	parallel.ForSplit(w, a.Cols, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			y[j] = 0
+		}
 		for i := 0; i < a.Rows; i++ {
 			ri := a.Row(i)
 			xi := x[i]
@@ -136,5 +147,4 @@ func MatTVecP(a *Matrix, x []float64, workers int) []float64 {
 			}
 		}
 	})
-	return y
 }

@@ -59,9 +59,8 @@ func TestViewKernelsMatchMaterialized(t *testing.T) {
 	bitsEqualVec(t, "TopKSVD(view)", 2, svdV.SingularValues, svdM.SingularValues)
 }
 
-// The packing stage must also preserve the zero-skip NaN semantics: a
-// strided B carrying NaN rows goes through the packed path and the packed
-// copy must not be treated as finite.
+// The packed kernels never skip zero multiplicands, so a strided B carrying
+// NaN rows must propagate 0·NaN = NaN through the packing stage untouched.
 func TestPackedGEMMPropagatesNonFinite(t *testing.T) {
 	a := FromRows([][]float64{{1, 0}, {2, 3}})
 	bv, _ := stridedView(2, 3, 5, 11)

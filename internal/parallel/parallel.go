@@ -180,16 +180,43 @@ func For(workers, n int, fn func(i int)) {
 // ForSplit partitions [0, n) into one contiguous range per worker and runs
 // fn(lo, hi) on each concurrently. With one effective worker it calls
 // fn(0, n) inline — no range slice, no closure, no allocation, so the
-// serial path of every kernel stays allocation-free.
+// serial path of every kernel stays allocation-free. The multi-worker path
+// computes the same split points as Split arithmetically (no range slice, no
+// shared counter) and runs the final range on the calling goroutine, so a
+// w-way fan-out costs w-1 goroutines and ~w small allocations — this is the
+// hot path under every per-iteration kernel (the Lanczos mat-vecs).
 func ForSplit(workers, n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if w := Resolve(workers); w <= 1 || n == 1 {
+	w := Resolve(workers)
+	if w <= 1 || n == 1 {
 		fn(0, n)
 		return
 	}
-	ForRanges(workers, Split(n, Resolve(workers)), fn)
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	per, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		if i == w-1 {
+			fn(lo, hi)
+		} else {
+			go func(lo, hi int) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, hi)
+		}
+		lo = hi
+	}
+	wg.Wait()
 }
 
 // ForSplitWeighted is ForSplit with weighted split points.
