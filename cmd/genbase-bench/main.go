@@ -52,6 +52,9 @@ func main() {
 	faultSpec := flag.String("faults", "", "serve mode with -nodes: deterministic fault plan injected into every query, e.g. \"crash:1@3,flaky:0@2,slow:2x8\" (see internal/faults)")
 	replication := flag.Int("replication", 1, "serve mode with -nodes: shard replication factor (2 survives any single-node crash with bit-identical answers)")
 	faultDrill := flag.Bool("fault-drill", false, "run the fault-drill sweep: node-kill, straggler, and flaky schedules at 4 and 8 nodes with replication 2, reporting QPS/p99 and recovery makespans")
+	ingestRate := flag.Float64("ingest-rate", 0, "serve mode: append rows/sec into a WAL store beside the serve window; each -checkpoint-every rows fold into a new snapshot epoch that is swapped into the server (queries in flight stay pinned to their admission epoch)")
+	checkpointEvery := flag.Int("checkpoint-every", 16, "serve mode with -ingest-rate: rows per checkpoint (each checkpoint advances the served epoch)")
+	crashDrill := flag.Bool("crash-drill", false, "run the WAL crash-recovery drill: truncate a checkpointed WAL at every record boundary plus a byte stride through the torn tail, verify recovery converges to identical segment digests and snapshot hashes, and serve recovered snapshots at -nodes checking bit-identical answers")
 	faultsOut := flag.String("faults-out", "", "fault-drill mode: write the results JSON (the BENCH_faults.json baseline) to this file")
 	scanBench := flag.Bool("scan-bench", false, "run the scan-throughput microbench: selective predicates on encoded pages vs decode-then-filter, rows/sec and bytes/sec per encoding")
 	scanOut := flag.String("scan-out", "", "scan-bench mode: write the results JSON (the BENCH_scan.json baseline) to this file")
@@ -105,7 +108,7 @@ func main() {
 	engine.SetZeroCopy(*zerocopy)
 	engine.SetCompression(*compress)
 
-	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" && *route == "" && !*faultDrill && !*scanBench {
+	if !*all && *figure == 0 && *table == 0 && *extension == "" && *parallelSweep == "" && *clients == "" && *route == "" && !*faultDrill && !*scanBench && !*crashDrill {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -118,6 +121,28 @@ func main() {
 	if *scanBench {
 		fmt.Fprintln(os.Stderr, "running scan-throughput microbench...")
 		if err := runScanBench(scanConfig{seed: *seed, outPath: *scanOut, quiet: *quiet}); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *crashDrill {
+		nodes := 4
+		if *serveNodes != "" {
+			counts, err := parseCounts("-nodes", *serveNodes)
+			if err != nil {
+				fatal(err)
+			}
+			nodes = counts[0]
+		}
+		fmt.Fprintln(os.Stderr, "running WAL crash-recovery drill...")
+		err := runCrashDrill(context.Background(), crashDrillConfig{
+			size:  datagen.Size(strings.TrimSpace(*serveSize)),
+			scale: *scale,
+			seed:  *seed,
+			nodes: nodes,
+			quiet: *quiet,
+		})
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -158,6 +183,8 @@ func main() {
 			route:        strings.TrimSpace(*route),
 			routeNodes:   *routeNodes,
 			reps:         *reps,
+			ingestRate:   *ingestRate,
+			ckptEvery:    *checkpointEvery,
 		}
 		if *serveSystems != "" {
 			for _, s := range strings.Split(*serveSystems, ",") {

@@ -34,11 +34,13 @@ type serveConfig struct {
 	seed         uint64
 	outPath      string
 	quiet        bool
-	faults       string // textual fault plan injected into cluster engines
-	replication  int    // shard replication factor for cluster engines
-	route        string // comma-separated routing policies ("cost,static:<config>"); empty = per-system sweep
-	routeNodes   int    // fleet node count for multi-node configurations in -route mode
-	reps         int    // -route mode: windows measured per (policy, clients) point; the median-QPS window is reported
+	faults       string  // textual fault plan injected into cluster engines
+	replication  int     // shard replication factor for cluster engines
+	route        string  // comma-separated routing policies ("cost,static:<config>"); empty = per-system sweep
+	routeNodes   int     // fleet node count for multi-node configurations in -route mode
+	reps         int     // -route mode: windows measured per (policy, clients) point; the median-QPS window is reported
+	ingestRate   float64 // rows/sec appended into a WAL store beside each window; 0 = no ingest
+	ckptEvery    int     // rows per checkpoint when ingest is on
 }
 
 // faultConfigurable is implemented by the cluster engines: a deterministic
@@ -121,6 +123,13 @@ type serveRunJSON struct {
 	Deadlined    int64    `json:"deadlined,omitempty"`
 	Degraded     int64    `json:"degraded,omitempty"`
 
+	// Ingest-mode fields (-ingest-rate): rows appended to the WAL during the
+	// window, checkpoints folded, and the epoch the server ended the window
+	// serving.
+	IngestRows        int64  `json:"ingest_rows,omitempty"`
+	IngestCheckpoints int64  `json:"ingest_checkpoints,omitempty"`
+	FinalEpoch        uint64 `json:"final_epoch,omitempty"`
+
 	// Routing-mode fields: the policy that produced the row, the row's own
 	// measurement window (routed rows may use a longer window than the
 	// per-system sweep in the shared header), the hedged re-route count,
@@ -159,7 +168,16 @@ type serveReportJSON struct {
 // report QPS and client-observed p50/p99 latency.
 func runServe(ctx context.Context, sc serveConfig) error {
 	if sc.route != "" {
+		if sc.ingestRate > 0 {
+			return fmt.Errorf("-ingest-rate is not supported in -route mode (pin a configuration with -systems instead)")
+		}
 		return runServeRouted(ctx, sc)
+	}
+	if sc.ingestRate > 0 && sc.faults != "" {
+		return fmt.Errorf("-ingest-rate cannot run under a fault plan (swapped-in epochs would serve unfaulted)")
+	}
+	if sc.ingestRate > 0 && sc.ckptEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1")
 	}
 	ds, err := datagen.Generate(datagen.Config{Size: sc.size, Scale: sc.scale, Seed: sc.seed})
 	if err != nil {
@@ -269,9 +287,24 @@ func runServe(ctx context.Context, sc serveConfig) error {
 				"clients", "offered", "qps", "p50_ms", "p99_ms", "p999_ms", "queries", "dropped", "peak", "degraded")
 			for _, n := range sc.clientCounts {
 				srv := serve.New(eng, serve.Options{MaxConcurrent: n, DisableCache: !sc.cache})
+				var ing *ingestSession
+				if sc.ingestRate > 0 {
+					var err error
+					if ing, err = startIngestSession(sc, cfg, nodes, multi, srv, eng, ds); err != nil {
+						cleanup()
+						return fmt.Errorf("%s @ %d nodes, %d clients: ingest: %w", cfg.Name, nodes, n, err)
+					}
+				}
 				res, err := serve.Benchmark(ctx, srv, mix, serve.BenchOptions{
 					Clients: n, Duration: sc.duration, Rate: sc.rate, Seed: sc.seed,
 				})
+				var ingSum ingestSummary
+				if ing != nil {
+					var ierr error
+					if ingSum, ierr = ing.finish(); ierr != nil && err == nil {
+						err = ierr
+					}
+				}
 				if err != nil {
 					cleanup()
 					return fmt.Errorf("%s @ %d nodes, %d clients: %w", cfg.Name, nodes, n, err)
@@ -279,22 +312,29 @@ func runServe(ctx context.Context, sc serveConfig) error {
 				fmt.Printf("%8d  %10.1f  %10.1f  %10s  %10s  %10s  %9d  %7d  %5d  %9d\n",
 					n, res.OfferedQPS, res.QPS, fmtQuantile(res.P50), fmtQuantile(res.P99),
 					fmtQuantile(res.P999), res.Queries, res.Dropped, res.PeakInFlight, res.Degraded)
+				if ing != nil {
+					fmt.Printf("%8s  ingested %d rows, %d checkpoints (every %d rows), final epoch %d\n",
+						"", ingSum.Rows, ingSum.Checkpoints, sc.ckptEvery, ingSum.Epoch)
+				}
 				report.Results = append(report.Results, serveRunJSON{
-					System:       res.System,
-					Nodes:        nodes,
-					Clients:      n,
-					QPS:          round1(res.QPS),
-					OfferedQPS:   round1(res.OfferedQPS),
-					Dropped:      res.Dropped,
-					P50Ms:        msq(res.P50),
-					P99Ms:        msq(res.P99),
-					P999Ms:       msq(res.P999),
-					Queries:      res.Queries,
-					CacheHits:    res.CacheHits,
-					PeakInFlight: res.PeakInFlight,
-					Shed:         res.Shed,
-					Deadlined:    res.Deadlined,
-					Degraded:     res.Degraded,
+					System:            res.System,
+					Nodes:             nodes,
+					Clients:           n,
+					QPS:               round1(res.QPS),
+					OfferedQPS:        round1(res.OfferedQPS),
+					Dropped:           res.Dropped,
+					P50Ms:             msq(res.P50),
+					P99Ms:             msq(res.P99),
+					P999Ms:            msq(res.P999),
+					Queries:           res.Queries,
+					CacheHits:         res.CacheHits,
+					PeakInFlight:      res.PeakInFlight,
+					Shed:              res.Shed,
+					Deadlined:         res.Deadlined,
+					Degraded:          res.Degraded,
+					IngestRows:        ingSum.Rows,
+					IngestCheckpoints: ingSum.Checkpoints,
+					FinalEpoch:        ingSum.Epoch,
 				})
 			}
 			fmt.Println()

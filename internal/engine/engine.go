@@ -236,6 +236,16 @@ type Result struct {
 // virtual — durations; answers are unaffected.) The one remaining exception
 // is the multi-node Hadoop wrapper, whose MR scheduler keeps shared
 // accounting across jobs: it is serial-only and must not be served.
+//
+// Ingest and snapshots (DESIGN.md §18): engines themselves stay immutable
+// after Load — writes never reach a loaded engine. New rows land in a WAL
+// store (internal/wal) beside the engine; a checkpoint folds them into an
+// immutable snapshot dataset at the next epoch, a fresh engine is Loaded
+// from that snapshot, and serve.Server.Swap atomically replaces the served
+// generation. Queries pin an (engine, epoch) pair at admission and finish
+// on it, so a displaced engine must stay open until its in-flight queries
+// drain; its answers — and its result-cache entries, keyed by epoch — stay
+// valid for the epoch they were computed at.
 type Engine interface {
 	Name() string
 	Load(ds *datagen.Dataset) error

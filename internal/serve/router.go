@@ -247,19 +247,21 @@ func (r *Router) run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 	}
 	fp := pl.Fingerprint()
 	if r.cache == nil {
-		res, _, err := r.tryCandidates(ctx, ranked, pl, q, p, fp)
+		res, _, _, err := r.tryCandidates(ctx, ranked, pl, q, p, fp)
 		return res, false, err
 	}
 	// Probe the cache once per distinct answer class, best-ranked class
 	// first: a hit from any backend of a class is valid for every backend
-	// of that class, and only for them.
+	// of that class at the same snapshot epoch, and only for them. The probe
+	// key carries the backend's current epoch, so entries from superseded
+	// snapshots are never served forward.
 	probed := map[string]bool{}
 	for i, b := range ranked {
 		if probed[b.class] {
 			continue
 		}
 		probed[b.class] = true
-		key := Key{System: b.class, Fingerprint: fp}
+		key := Key{System: b.class, Fingerprint: fp, Epoch: b.srv.Epoch()}
 		if i == 0 {
 			if res, ok := r.cache.get(key); ok { // get: record hit/miss once
 				return res, true, nil
@@ -268,16 +270,16 @@ func (r *Router) run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 			return res, true, nil
 		}
 	}
-	// Coalesce on the best-ranked class: twins wait for one execution.
-	// tryCandidates publishes under the class that actually served, which
-	// the flight loop re-checks only for the flight key's class — a
-	// re-routed leader's waiters simply contend again (rare: it takes a
-	// cross-class failover mid-flight).
-	flightKey := Key{System: ranked[0].class, Fingerprint: fp}
+	// Coalesce on the best-ranked (class, epoch): twins wait for one
+	// execution. tryCandidates publishes under the class and epoch that
+	// actually served, which the flight loop re-checks only for the flight
+	// key — a re-routed leader's waiters simply contend again (rare: it
+	// takes a cross-class failover or a mid-flight epoch swap).
+	flightKey := Key{System: ranked[0].class, Fingerprint: fp, Epoch: ranked[0].srv.Epoch()}
 	return r.flights.run(ctx, r.cache, flightKey, func() (*engine.Result, error) {
-		res, served, err := r.tryCandidates(ctx, ranked, pl, q, p, fp)
+		res, served, epoch, err := r.tryCandidates(ctx, ranked, pl, q, p, fp)
 		if err == nil && served != nil {
-			r.cache.put(Key{System: served.class, Fingerprint: fp}, res)
+			r.cache.put(Key{System: served.class, Fingerprint: fp, Epoch: epoch}, res)
 		}
 		return res, err
 	})
@@ -293,7 +295,7 @@ func (r *Router) rank(pl *plan.Plan, q engine.QueryID) ([]*routerBackend, error)
 			if b.key != st {
 				continue
 			}
-			if !b.srv.eng.Supports(q) {
+			if !b.srv.Engine().Supports(q) {
 				return nil, fmt.Errorf("serve: pinned configuration %s does not support %s: %w", st, q, engine.ErrUnsupported)
 			}
 			return []*routerBackend{b}, nil
@@ -307,7 +309,7 @@ func (r *Router) rank(pl *plan.Plan, q engine.QueryID) ([]*routerBackend, error)
 	}
 	var cands []scored
 	for i, b := range r.backends {
-		if !b.srv.eng.Supports(q) {
+		if !b.srv.Engine().Supports(q) {
 			continue
 		}
 		est, ok := r.model.Estimate(pl, b.cfg)
@@ -345,7 +347,15 @@ func (r *Router) rank(pl *plan.Plan, q engine.QueryID) ([]*routerBackend, error)
 // outcome — success, engine failure, cancellation — is final. Successful
 // timings feed the online model, so the ranking self-corrects from the
 // traffic it serves.
-func (r *Router) tryCandidates(ctx context.Context, ranked []*routerBackend, pl *plan.Plan, q engine.QueryID, p engine.Params, fp string) (*engine.Result, *routerBackend, error) {
+//
+// The returned epoch is the snapshot epoch the winning backend served at,
+// valid for cache publication only when the backend is also returned non-nil:
+// when the backend's epoch moved while the request was in flight (Swap raced
+// the execution), the answer is still correct for its caller — the server
+// pinned a generation at admission — but this layer can no longer prove
+// *which* epoch it pinned, so it withholds publication rather than risk
+// poisoning the class cache with an answer filed under the wrong epoch.
+func (r *Router) tryCandidates(ctx context.Context, ranked []*routerBackend, pl *plan.Plan, q engine.QueryID, p engine.Params, fp string) (*engine.Result, *routerBackend, uint64, error) {
 	cur := r.inflight.Add(1)
 	defer r.inflight.Add(-1)
 	for {
@@ -363,7 +373,9 @@ func (r *Router) tryCandidates(ctx context.Context, ranked []*routerBackend, pl 
 			break
 		}
 		start := time.Now()
+		e1 := b.srv.Epoch()
 		res, _, err := b.srv.Run(ctx, q, p)
+		e2 := b.srv.Epoch()
 		if err == nil {
 			r.routed.Add(1)
 			if i > 0 {
@@ -382,17 +394,22 @@ func (r *Router) tryCandidates(ctx context.Context, ranked []*routerBackend, pl 
 			if cur == 1 && r.inflight.Load() == 1 {
 				r.model.ObserveWall(b.cfg, pl, float64(time.Since(start).Nanoseconds()))
 			}
-			return res, b, nil
+			if e1 != e2 {
+				// Epoch moved mid-flight: correct answer, unprovable epoch —
+				// serve it, don't publish it.
+				return res, nil, 0, nil
+			}
+			return res, b, e1, nil
 		}
 		if errors.Is(err, engine.ErrOverload) {
 			lastErr = err
 			continue // hedged re-route: the next-cheapest candidate takes it
 		}
 		b.failed.Add(1)
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	r.shed.Add(1)
-	return nil, nil, fmt.Errorf("serve: all %d candidate configurations overloaded for %s: %w",
+	return nil, nil, 0, fmt.Errorf("serve: all %d candidate configurations overloaded for %s: %w",
 		len(ranked), q, errors.Join(lastErr, engine.ErrOverload))
 }
 

@@ -97,11 +97,27 @@ type Options struct {
 	BreakerThreshold int
 }
 
+// served pairs the engine generation a request executes on with its snapshot
+// epoch. The pair is immutable once published; Swap installs a new one.
+type served struct {
+	eng   engine.Engine
+	epoch uint64
+}
+
 // Server admits concurrent read-only queries over one loaded engine.
+//
+// Under ingest (DESIGN.md §18) the served engine advances by whole snapshot
+// epochs: Swap atomically installs the engine loaded from the next
+// checkpointed snapshot. Every request pins the (engine, epoch) pair at
+// admission and carries the epoch in its cache key, so in-flight queries and
+// cached results stay a pure function of their pinned snapshot — old-epoch
+// entries keep serving old-epoch keys until they age out FIFO, rather than
+// being evicted on write.
 type Server struct {
-	eng    engine.Engine
+	cur    atomic.Pointer[served]
 	system string
 	slots  chan struct{}
+	perWorkers int // per-slot kernel-worker share, re-applied on Swap
 	cache  *Cache // nil when caching is disabled
 
 	// flights coalesces cold-cache twins (single-flight, see flight.go).
@@ -205,14 +221,15 @@ func New(eng engine.Engine, opts Options) *Server {
 		cache = nil
 	}
 	s := &Server{
-		eng:      eng,
-		system:   eng.Name(),
-		slots:    make(chan struct{}, maxc),
-		cache:    cache,
-		fps:      make(map[fpKey]string),
-		timeout:  opts.RequestTimeout,
-		maxQueue: opts.MaxQueue,
+		system:     eng.Name(),
+		slots:      make(chan struct{}, maxc),
+		perWorkers: per,
+		cache:      cache,
+		fps:        make(map[fpKey]string),
+		timeout:    opts.RequestTimeout,
+		maxQueue:   opts.MaxQueue,
 	}
+	s.cur.Store(&served{eng: eng, epoch: 0})
 	if opts.BreakerThreshold >= 0 {
 		threshold := opts.BreakerThreshold
 		if threshold == 0 {
@@ -258,8 +275,29 @@ func (s *Server) fingerprint(q engine.QueryID, p engine.Params) (string, error) 
 	return fp, nil
 }
 
-// Engine returns the wrapped engine.
-func (s *Server) Engine() engine.Engine { return s.eng }
+// Engine returns the currently served engine generation.
+func (s *Server) Engine() engine.Engine { return s.cur.Load().eng }
+
+// Epoch returns the snapshot epoch of the currently served engine.
+func (s *Server) Epoch() uint64 { return s.cur.Load().epoch }
+
+// Swap atomically installs an engine loaded from snapshot epoch and returns
+// the previously served engine, which the caller must keep alive (not Close)
+// until requests pinned to it drain. Swap pins the new engine's kernel-worker
+// count to the same per-slot share New computed, and requires the new engine
+// to serve the same system (epoch advances change data, never identity) —
+// cached answers for older epochs remain valid under their epoch-carrying
+// keys.
+func (s *Server) Swap(eng engine.Engine, epoch uint64) engine.Engine {
+	if eng.Name() != s.system {
+		panic(fmt.Sprintf("serve: swap of %q into a %q server", eng.Name(), s.system))
+	}
+	if ws, ok := eng.(WorkerSetter); ok {
+		ws.SetWorkers(s.perWorkers)
+	}
+	old := s.cur.Swap(&served{eng: eng, epoch: epoch})
+	return old.eng
+}
 
 // Name identifies the served system (the wrapped engine's name) — the
 // Runner identity Benchmark reports.
@@ -305,15 +343,19 @@ func (s *Server) run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 	if err != nil {
 		return nil, false, err
 	}
+	// Pin the (engine, epoch) pair once: the execution below runs on exactly
+	// this generation, so the epoch-keyed cache entry it may publish is
+	// correct even if Swap lands mid-flight.
+	pin := s.cur.Load()
 	if s.cache == nil {
-		return s.execute(ctx, q, p)
+		return s.execute(ctx, pin.eng, q, p)
 	}
-	key := Key{System: s.system, Fingerprint: fp}
+	key := Key{System: s.system, Fingerprint: fp, Epoch: pin.epoch}
 	if res, ok := s.cache.get(key); ok {
 		return res, true, nil
 	}
 	return s.flights.run(ctx, s.cache, key, func() (*engine.Result, error) {
-		res, _, err := s.execute(ctx, q, p)
+		res, _, err := s.execute(ctx, pin.eng, q, p)
 		if err == nil {
 			s.cache.put(key, res)
 		}
@@ -321,9 +363,10 @@ func (s *Server) run(ctx context.Context, q engine.QueryID, p engine.Params) (*e
 	})
 }
 
-// execute admits one query through the semaphore and runs it on the engine,
-// applying the circuit breaker and the queue-depth load shedder first.
-func (s *Server) execute(ctx context.Context, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
+// execute admits one query through the semaphore and runs it on the pinned
+// engine generation, applying the circuit breaker and the queue-depth load
+// shedder first.
+func (s *Server) execute(ctx context.Context, eng engine.Engine, q engine.QueryID, p engine.Params) (*engine.Result, bool, error) {
 	if s.breaker != nil && !s.breaker.allow() {
 		s.breakerDenials.Add(1)
 		return nil, false, fmt.Errorf("serve: circuit open for %s: %w", s.system, engine.ErrOverload)
@@ -357,7 +400,7 @@ func (s *Server) execute(ctx context.Context, q engine.QueryID, p engine.Params)
 		}
 	}
 	s.admitted.Add(1)
-	res, err := s.eng.Run(ctx, q, p)
+	res, err := eng.Run(ctx, q, p)
 	s.noteOutcome(err)
 	if err != nil {
 		return nil, false, err
@@ -437,13 +480,17 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Key identifies one cacheable query execution: the serving system plus the
-// compiled plan's fingerprint. The fingerprint canonicalizes the computation
-// (operators plus the parameters they actually read), so parameterizations
-// that differ only in fields the query ignores map to the same entry.
+// Key identifies one cacheable query execution: the serving system, the
+// compiled plan's fingerprint, and the snapshot epoch the answer was computed
+// against. The fingerprint canonicalizes the computation (operators plus the
+// parameters they actually read), so parameterizations that differ only in
+// fields the query ignores map to the same entry; the epoch keeps answers
+// from different snapshots apart without any eviction — ingest advances the
+// epoch and old entries simply stop being asked for.
 type Key struct {
 	System      string
 	Fingerprint string
+	Epoch       uint64
 }
 
 // DefaultCacheEntries bounds a cache created with size 0.

@@ -1,0 +1,57 @@
+package wal
+
+import (
+	"github.com/genbase/genbase/internal/datagen"
+)
+
+// RowGen generates a deterministic stream of synthetic ingest rows shaped
+// like the base dataset's patients: IDs continue from the base population,
+// metadata follows the same marginals as datagen, and expression rows are
+// drawn from the same SplitMix64 discipline. Two RowGens with the same (base
+// dims, seed) emit identical streams — the ingest benchmark and the crash
+// matrix both lean on that to reproduce WAL contents exactly.
+type RowGen struct {
+	genes  int
+	nextID int32
+	meta   *datagen.RNG
+	expr   *datagen.RNG
+}
+
+// NewRowGen builds a generator continuing after base with the given seed.
+func NewRowGen(base *datagen.Dataset, seed uint64) *RowGen {
+	maxID := int32(0)
+	for _, p := range base.Patients {
+		if p.ID > maxID {
+			maxID = p.ID
+		}
+	}
+	root := datagen.NewRNG(seed)
+	return &RowGen{
+		genes:  base.Dims.Genes,
+		nextID: maxID + 1,
+		meta:   root.DeriveStream(1),
+		expr:   root.DeriveStream(2),
+	}
+}
+
+// Next emits the next row in the stream.
+func (g *RowGen) Next() Row {
+	p := datagen.Patient{
+		ID:        g.nextID,
+		Age:       int32(18 + g.meta.Intn(70)),
+		Gender:    byte(g.meta.Intn(2)),
+		Zipcode:   int32(10000 + g.meta.Intn(90000)),
+		DiseaseID: int32(g.meta.Intn(50)),
+	}
+	g.nextID++
+	expr := make([]float64, g.genes)
+	for j := range expr {
+		expr[j] = 5 + g.expr.NormFloat64()
+	}
+	resp := 2.0
+	for j := 0; j < g.genes; j += 97 {
+		resp += 0.01 * expr[j]
+	}
+	p.DrugResponse = resp + 0.5*g.meta.NormFloat64()
+	return Row{Patient: p, Expr: expr}
+}
